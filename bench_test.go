@@ -1,0 +1,179 @@
+package damq_test
+
+// One benchmark per table and figure of the paper's evaluation, each
+// regenerating (a quick-scale version of) the corresponding artifact.
+// `go test -bench=. -benchmem` therefore re-runs the entire evaluation.
+// EXPERIMENTS.md records full-scale numbers produced by cmd/experiments.
+
+import (
+	"testing"
+
+	"damq"
+)
+
+// BenchmarkTable1CutThrough regenerates Table 1: chip-level virtual
+// cut-through turn-around measurement across packet lengths.
+func BenchmarkTable1CutThrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := damq.ReproduceTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ta := range res.TurnAround {
+			if ta != 4 {
+				b.Fatalf("turn-around %d", ta)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Markov regenerates Table 2: the full exact Markov
+// analysis (16 buffer configurations × 8 traffic levels).
+func BenchmarkTable2Markov(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Discarding regenerates Table 3: discarding Omega
+// network, uniform traffic, smart vs dumb arbitration.
+func BenchmarkTable3Discarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceTable3(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Latency regenerates Table 4: blocking network latencies
+// and saturation throughput for all four buffer kinds at 4 slots.
+func BenchmarkTable4Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceTable4(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Slots regenerates Table 5: FIFO vs DAMQ at 3, 4, and 8
+// slots per buffer.
+func BenchmarkTable5Slots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceTable5(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6HotSpot regenerates Table 6: 5% hot-spot traffic
+// tree-saturating every buffer kind at the same throughput.
+func BenchmarkTable6HotSpot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceTable6(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Curve regenerates Figure 3: the latency-vs-throughput
+// sweep for FIFO and DAMQ.
+func BenchmarkFigure3Curve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := damq.ReproduceFigure3([]damq.BufferKind{damq.FIFO, damq.DAMQ}, 4, damq.QuickScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVarLenExtension regenerates the variable-length extension the
+// paper's conclusion motivates.
+func BenchmarkVarLenExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceVarLen(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncExtension regenerates the asynchronous event-driven
+// experiment (E9): FIFO vs DAMQ with fixed and variable packet lengths.
+func BenchmarkAsyncExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.ReproduceAsync(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationConnectivity regenerates the DAFC connectivity
+// ablation (A1).
+func BenchmarkAblationConnectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.AblateConnectivity(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationArbitration regenerates the smart-vs-dumb arbitration
+// ablation (A2).
+func BenchmarkAblationArbitration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.AblateArbitration(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBurstiness regenerates the message-traffic ablation
+// (A3).
+func BenchmarkAblationBurstiness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := damq.AblateBurstiness(damq.QuickScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipNetworkPacket measures the byte-level chip network: one
+// 8-byte packet through a 16×16 Omega of ComCoBB chips.
+func BenchmarkChipNetworkPacket(b *testing.B) {
+	net, err := damq.NewChipOmegaNetwork(damq.ChipOmegaConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Send(i%16, (i*7)%16, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		net.Run(40)
+	}
+}
+
+// BenchmarkNetworkCycle measures the simulator's raw speed: one network
+// cycle of a 64×64 DAMQ Omega network at 0.5 load.
+func BenchmarkNetworkCycle(b *testing.B) {
+	sim, err := damq.NewNetwork(damq.NetworkConfig{
+		BufferKind: damq.DAMQ,
+		Capacity:   4,
+		Policy:     damq.SmartArbitration,
+		Protocol:   damq.Blocking,
+		Traffic:    damq.TrafficSpec{Kind: damq.UniformTraffic, Load: 0.5},
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := &damq.NetworkResult{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(res, true)
+	}
+}

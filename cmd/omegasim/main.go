@@ -1,0 +1,179 @@
+// Command omegasim runs the paper's Omega-network experiments.
+//
+// Usage:
+//
+//	omegasim -exp table3            # Table 3 (discarding, uniform)
+//	omegasim -exp table4            # Table 4 (blocking latencies)
+//	omegasim -exp table5            # Table 5 (slot-count sweep)
+//	omegasim -exp table6            # Table 6 (hot spot)
+//	omegasim -exp figure3           # Figure 3 (latency vs throughput)
+//	omegasim -exp varlen            # variable-length extension
+//	omegasim -exp run -kind damq -load 0.6 -protocol blocking  # one run
+//
+// -scale quick|full selects run length (full is what EXPERIMENTS.md
+// records; quick is a fast smoke version).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"damq"
+	"damq/internal/arbiter"
+	"damq/internal/experiments"
+	"damq/internal/plot"
+	"damq/internal/sw"
+)
+
+func main() {
+	exp := flag.String("exp", "table4",
+		"experiment: table3|table4|table5|table6|figure3|varlen|async|treesat|tail|switch4|radix|ablation|run")
+	svgPath := flag.String("svg", "", "figure3: also write an SVG figure to this path")
+	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
+	kind := flag.String("kind", "damq", "run: buffer kind")
+	load := flag.Float64("load", 0.5, "run: offered load")
+	capacity := flag.Int("capacity", 4, "run: slots per input buffer")
+	protocol := flag.String("protocol", "blocking", "run: blocking|discarding")
+	policy := flag.String("policy", "smart", "run: smart|dumb arbitration")
+	hot := flag.Float64("hot", 0, "run: hot-spot fraction (0 = uniform)")
+	seed := flag.Uint64("seed", 1988, "run: PRNG seed")
+	flag.Parse()
+
+	sc := experiments.Quick
+	switch *scaleName {
+	case "quick":
+	case "full":
+		sc = experiments.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	sc.Seed = *seed
+
+	switch *exp {
+	case "table3":
+		res, err := experiments.Table3(sc)
+		orDie(err)
+		fmt.Print(res.Render())
+	case "table4":
+		rows, err := experiments.Table4(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderLatencyRows(
+			"Table 4: average latency (clocks) for given load, 4 slots/buffer, blocking, uniform", rows))
+	case "table5":
+		rows, err := experiments.Table5(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderLatencyRows(
+			"Table 5: average latency varying slots/buffer, blocking, uniform", rows))
+	case "table6":
+		rows, err := experiments.Table6(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderTable6(rows))
+	case "figure3":
+		series, err := experiments.Figure3([]damq.BufferKind{damq.FIFO, damq.DAMQ}, 4, nil, sc)
+		orDie(err)
+		fmt.Print(experiments.RenderFigure3(series))
+		if *svgPath != "" {
+			svg := plot.SVG(series, plot.Options{
+				Title: "Figure 3: FIFO vs DAMQ, 4 slots, uniform traffic, blocking",
+			})
+			orDie(os.WriteFile(*svgPath, []byte(svg), 0o644))
+			fmt.Printf("\nSVG figure written to %s\n", *svgPath)
+		}
+	case "ablation":
+		conn, err := experiments.AblationConnectivity(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderConnectivity(conn))
+		fmt.Println()
+		arb, err := experiments.AblationArbitration(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderArbitration(arb))
+		fmt.Println()
+		burst, err := experiments.AblationBurstiness(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderBurstiness(burst))
+		fmt.Println()
+		solver, err := experiments.AblationSolver()
+		orDie(err)
+		fmt.Print(experiments.RenderSolver(solver))
+	case "varlen":
+		rows, err := experiments.VarLen(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderVarLen(rows))
+	case "async":
+		rows, err := experiments.Async(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderAsync(rows))
+	case "treesat":
+		rows, err := experiments.TreeSaturation(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderTreeSat(rows))
+	case "tail":
+		rows, err := experiments.TailLatency(0.45, sc)
+		orDie(err)
+		fmt.Print(experiments.RenderTail(rows))
+	case "switch4":
+		rows, err := experiments.Switch4x4(sc.Measure*20, sc.Seed)
+		orDie(err)
+		fmt.Print(experiments.RenderSwitch4(rows))
+	case "radix":
+		rows, err := experiments.RadixSweep(sc)
+		orDie(err)
+		fmt.Print(experiments.RenderRadix(rows))
+	case "run":
+		runOne(*kind, *load, *capacity, *protocol, *policy, *hot, sc)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func runOne(kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale) {
+	kind, err := damq.ParseBufferKind(kindName)
+	orDie(err)
+	pol, err := arbiter.ParsePolicy(policyName)
+	orDie(err)
+	var proto sw.Protocol
+	switch protoName {
+	case "blocking":
+		proto = sw.Blocking
+	case "discarding":
+		proto = sw.Discarding
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", protoName))
+	}
+	spec := damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load}
+	if hot > 0 {
+		spec = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: load, HotFraction: hot}
+	}
+	res, err := damq.RunNetwork(damq.NetworkConfig{
+		BufferKind:    kind,
+		Capacity:      capacity,
+		Policy:        pol,
+		Protocol:      proto,
+		Traffic:       spec,
+		WarmupCycles:  sc.Warmup,
+		MeasureCycles: sc.Measure,
+		Seed:          sc.Seed,
+	})
+	orDie(err)
+	fmt.Printf("buffer              %v (%d slots)\n", kind, capacity)
+	fmt.Printf("protocol            %v, %v arbitration\n", proto, pol)
+	fmt.Printf("offered load        %.3f\n", res.OfferedLoad())
+	fmt.Printf("throughput          %.3f packets/input/cycle\n", res.Throughput())
+	fmt.Printf("latency (born)      %.1f clocks (±%.1f)\n", res.LatencyFromBorn.Mean(), res.LatencyFromBorn.CI95())
+	fmt.Printf("latency (injected)  %.1f clocks\n", res.LatencyFromInjection.Mean())
+	fmt.Printf("discarded           %.2f%% of generated\n", 100*res.DiscardFraction())
+	fmt.Printf("mean occupancy      %.2f packets/switch\n", res.Occupancy.Mean())
+	fmt.Printf("source backlog      %.1f packets\n", res.SourceBacklog.Mean())
+}
+
+func orDie(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "omegasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command sweep runs a custom parameter grid over the Omega-network
+// simulator and writes CSV, for questions the paper's fixed tables do not
+// answer.
+//
+// Usage:
+//
+//	sweep -kinds fifo,damq -loads 0.2,0.4,0.6,0.8 -caps 4,8 -out sweep.csv
+//	sweep -kinds damq -loads 1.0 -caps 4 -traffic hotspot -hot 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"damq"
+	"damq/internal/arbiter"
+	"damq/internal/experiments"
+	"damq/internal/netsim"
+	"damq/internal/sw"
+)
+
+func main() {
+	kindsFlag := flag.String("kinds", "fifo,damq", "comma-separated buffer kinds")
+	loadsFlag := flag.String("loads", "0.25,0.5,0.75,1.0", "comma-separated offered loads")
+	capsFlag := flag.String("caps", "4", "comma-separated buffer capacities (slots)")
+	protoFlag := flag.String("protocol", "blocking", "blocking|discarding")
+	policyFlag := flag.String("policy", "smart", "smart|dumb")
+	trafficFlag := flag.String("traffic", "uniform", "uniform|hotspot|bursty")
+	hot := flag.Float64("hot", 0.05, "hot-spot fraction (traffic=hotspot)")
+	burst := flag.Float64("burst", 4, "mean message length (traffic=bursty)")
+	scaleName := flag.String("scale", "quick", "quick|full")
+	out := flag.String("out", "", "CSV output path (default stdout)")
+	seed := flag.Uint64("seed", 1988, "PRNG seed")
+	flag.Parse()
+
+	grid := experiments.Grid{
+		HotFraction: *hot,
+		MeanBurst:   *burst,
+	}
+	for _, name := range strings.Split(*kindsFlag, ",") {
+		k, err := damq.ParseBufferKind(strings.TrimSpace(name))
+		orDie(err)
+		grid.Kinds = append(grid.Kinds, k)
+	}
+	for _, s := range strings.Split(*loadsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		orDie(err)
+		grid.Loads = append(grid.Loads, v)
+	}
+	for _, s := range strings.Split(*capsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		orDie(err)
+		grid.Capacities = append(grid.Capacities, v)
+	}
+	switch *protoFlag {
+	case "blocking":
+		grid.Protocol = sw.Blocking
+	case "discarding":
+		grid.Protocol = sw.Discarding
+	default:
+		orDie(fmt.Errorf("unknown protocol %q", *protoFlag))
+	}
+	pol, err := arbiter.ParsePolicy(*policyFlag)
+	orDie(err)
+	grid.Policy = pol
+	switch *trafficFlag {
+	case "uniform":
+		grid.Traffic = netsim.Uniform
+	case "hotspot":
+		grid.Traffic = netsim.HotSpot
+	case "bursty":
+		grid.Traffic = netsim.Bursty
+	default:
+		orDie(fmt.Errorf("unknown traffic %q", *trafficFlag))
+	}
+
+	sc := experiments.Quick
+	if *scaleName == "full" {
+		sc = experiments.Full
+	} else if *scaleName != "quick" {
+		orDie(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	sc.Seed = *seed
+
+	points, err := grid.Run(sc)
+	orDie(err)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		orDie(err)
+		defer f.Close()
+		w = f
+	}
+	orDie(experiments.WriteCSV(w, points))
+	if *out != "" {
+		fmt.Printf("wrote %d rows to %s\n", len(points), *out)
+	}
+}
+
+func orDie(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,317 @@
+// Package damq is a library reproduction of Tamir & Frazier,
+// "High-Performance Multi-Queue Buffers for VLSI Communication Switches"
+// (UCLA CSD-880003 / ISCA 1988) — the paper that introduced the
+// dynamically allocated multi-queue (DAMQ) buffer.
+//
+// The package is a facade over the repository's internals, exposing:
+//
+//   - the four buffer organizations the paper compares (FIFO, SAMQ, SAFC,
+//     DAMQ) behind one Buffer interface, with the DAMQ implemented as a
+//     slot pool threaded by hardware-style linked lists;
+//   - exact Markov analysis of 2×2 discarding switches (the paper's
+//     Table 2);
+//   - a synchronized 64×64 Omega-network simulator with blocking and
+//     discarding flow control, smart/dumb arbitration, uniform and
+//     hot-spot traffic (Tables 3-6, Figure 3);
+//   - a clock-cycle/phase-accurate model of the ComCoBB chip's DAMQ
+//     micro-architecture demonstrating 4-cycle virtual cut-through
+//     (Table 1);
+//   - experiment harnesses that regenerate every table and figure.
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package damq
+
+import (
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/chipnet"
+	"damq/internal/comcobb"
+	"damq/internal/eventsim"
+	"damq/internal/experiments"
+	"damq/internal/markov2x2"
+	"damq/internal/netsim"
+	"damq/internal/packet"
+	"damq/internal/plot"
+	"damq/internal/stats"
+	"damq/internal/sw"
+)
+
+// BufferKind identifies one of the four buffer organizations.
+type BufferKind = buffer.Kind
+
+// The four buffer organizations of the paper, in its comparison order.
+const (
+	FIFO = buffer.FIFO
+	SAMQ = buffer.SAMQ
+	SAFC = buffer.SAFC
+	DAMQ = buffer.DAMQ
+	// DAFC is the ablation variant: DAMQ's dynamic pool with SAFC's full
+	// read connectivity. Not one of the paper's four designs.
+	DAFC = buffer.DAFC
+)
+
+// BufferKinds lists all four kinds.
+func BufferKinds() []BufferKind { return buffer.Kinds() }
+
+// ParseBufferKind converts a name such as "damq" to its kind.
+func ParseBufferKind(s string) (BufferKind, error) { return buffer.ParseKind(s) }
+
+// Buffer is the behavioural interface shared by all four organizations
+// under the long-clock model. See internal/buffer for semantics.
+type Buffer = buffer.Buffer
+
+// DAMQBuffer is the paper's contribution: per-output FIFO queues threaded
+// through a shared slot pool with explicit linked lists and a free list.
+// It exposes CheckInvariants for structural verification.
+type DAMQBuffer = buffer.DAMQBuffer
+
+// Packet is the unit of traffic in the long-clock simulators.
+type Packet = packet.Packet
+
+// NewBuffer constructs a buffer of the given kind for an n-output switch
+// with the given total slot capacity.
+func NewBuffer(kind BufferKind, outputs, capacity int) (Buffer, error) {
+	return buffer.New(buffer.Config{Kind: kind, NumOutputs: outputs, Capacity: capacity})
+}
+
+// NewDAMQBuffer constructs the concrete DAMQ type directly.
+func NewDAMQBuffer(outputs, capacity int) *DAMQBuffer {
+	return buffer.NewDAMQ(outputs, capacity)
+}
+
+// ArbitrationPolicy selects the crossbar fairness scheme.
+type ArbitrationPolicy = arbiter.Policy
+
+// Arbitration policies (Section 4.2 of the paper).
+const (
+	DumbArbitration  = arbiter.Dumb
+	SmartArbitration = arbiter.Smart
+)
+
+// Protocol is the network flow-control discipline.
+type Protocol = sw.Protocol
+
+// Flow-control protocols.
+const (
+	Discarding = sw.Discarding
+	Blocking   = sw.Blocking
+)
+
+// Switch is one n×n switch (buffers + crossbar + arbiter).
+type Switch = sw.Switch
+
+// SwitchConfig parameterizes a switch.
+type SwitchConfig = sw.Config
+
+// NewSwitch builds one switch.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) { return sw.New(cfg) }
+
+// DiscardProbability solves the paper's Table 2 Markov model exactly: the
+// steady-state probability that a packet arriving at a 2×2 discarding
+// switch with the given buffer kind and per-port slot count is discarded,
+// at the given traffic level.
+func DiscardProbability(kind BufferKind, slots int, load float64) (float64, error) {
+	r, err := markov2x2.Solve(kind, slots, load)
+	if err != nil {
+		return 0, err
+	}
+	return r.PDiscard, nil
+}
+
+// Network simulation -----------------------------------------------------
+
+// NetworkConfig parameterizes an Omega-network simulation (64×64 of 4×4
+// switches by default).
+type NetworkConfig = netsim.Config
+
+// TrafficSpec describes the workload of a network simulation.
+type TrafficSpec = netsim.TrafficSpec
+
+// Traffic kinds.
+const (
+	UniformTraffic     = netsim.Uniform
+	HotSpotTraffic     = netsim.HotSpot
+	PermutationTraffic = netsim.Permutation
+)
+
+// NetworkResult aggregates a run's measurements.
+type NetworkResult = netsim.Result
+
+// NetworkSim is an instantiated network; use Run or Step.
+type NetworkSim = netsim.Sim
+
+// NewNetwork builds an Omega-network simulation.
+func NewNetwork(cfg NetworkConfig) (*NetworkSim, error) { return netsim.New(cfg) }
+
+// RunNetwork builds and runs a simulation in one call.
+func RunNetwork(cfg NetworkConfig) (*NetworkResult, error) {
+	sim, err := netsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+// Chip-level model --------------------------------------------------------
+
+// Chip is the cycle/phase-accurate ComCoBB model (five port pairs around
+// a 5×5 crossbar, DAMQ buffers with 8-byte slots).
+type Chip = comcobb.Chip
+
+// ChipConfig parameterizes a chip.
+type ChipConfig = comcobb.Config
+
+// ChipTrace records cycle/phase events for timing analysis.
+type ChipTrace = comcobb.Trace
+
+// Route is a virtual-circuit table entry.
+type Route = comcobb.Route
+
+// ChipNetwork ticks multiple connected chips in lockstep.
+type ChipNetwork = comcobb.Network
+
+// NewChip builds a chip.
+func NewChip(cfg ChipConfig) *Chip { return comcobb.NewChip(cfg) }
+
+// ConnectChips wires output port out of chip a to input port in of b.
+func ConnectChips(a *Chip, out int, b *Chip, in int) { comcobb.Connect(a, out, b, in) }
+
+// NewChipNetwork groups chips for lockstep ticking.
+func NewChipNetwork(chips ...*Chip) *ChipNetwork { return comcobb.NewNetwork(chips...) }
+
+// ChipLink is one unidirectional byte-serial wire between chips (or
+// between a testbench driver and a chip).
+type ChipLink = comcobb.Link
+
+// ChipDriver feeds scripted packets into a chip link, standing in for an
+// upstream node.
+type ChipDriver = comcobb.Driver
+
+// NewChipDriver attaches a driver to a link.
+func NewChipDriver(link *ChipLink) *ChipDriver { return comcobb.NewDriver(link) }
+
+// DecodedPacket is a packet recovered from a chip output capture.
+type DecodedPacket = comcobb.DecodedPacket
+
+// Experiments --------------------------------------------------------------
+
+// ExperimentScale tunes how long experiment simulations run.
+type ExperimentScale = experiments.Scale
+
+// Predefined scales.
+var (
+	FullScale  = experiments.Full
+	QuickScale = experiments.Quick
+)
+
+// ReproduceTable1 measures chip-level cut-through turn-around (Table 1).
+func ReproduceTable1() (*experiments.Table1Result, error) { return experiments.Table1() }
+
+// ReproduceTable2 solves the full Markov table (Table 2).
+func ReproduceTable2() (*experiments.Table2Result, error) {
+	return experiments.Table2(nil)
+}
+
+// ReproduceTable3 runs the discarding-network experiment (Table 3).
+func ReproduceTable3(sc ExperimentScale) (*experiments.Table3Result, error) {
+	return experiments.Table3(sc)
+}
+
+// ReproduceTable4 runs the blocking-network latency table (Table 4).
+func ReproduceTable4(sc ExperimentScale) ([]experiments.LatencyRow, error) {
+	return experiments.Table4(sc)
+}
+
+// ReproduceTable5 varies slots per buffer for FIFO and DAMQ (Table 5).
+func ReproduceTable5(sc ExperimentScale) ([]experiments.LatencyRow, error) {
+	return experiments.Table5(sc)
+}
+
+// ReproduceTable6 runs the hot-spot experiment (Table 6).
+func ReproduceTable6(sc ExperimentScale) ([]experiments.Table6Row, error) {
+	return experiments.Table6(sc)
+}
+
+// Figure3Series is one latency-vs-throughput curve from a load sweep.
+type Figure3Series = stats.Series
+
+// Figure3Point is one measurement on a curve.
+type Figure3Point = stats.Point
+
+// ReproduceFigure3 sweeps offered load and returns latency/throughput
+// series (Figure 3).
+func ReproduceFigure3(kinds []BufferKind, capacity int, sc ExperimentScale) ([]Figure3Series, error) {
+	return experiments.Figure3(kinds, capacity, nil, sc)
+}
+
+// ReproduceVarLen runs the paper's variable-length-packet outlook as an
+// experiment: fixed 1-slot vs uniform 1-4-slot packets at equal storage.
+func ReproduceVarLen(sc ExperimentScale) ([]experiments.VarLenRow, error) {
+	return experiments.VarLen(sc)
+}
+
+// ReproduceAsync runs the asynchronous event-driven network experiment
+// (the paper's closing conjecture: variable-length packets arriving
+// asynchronously).
+func ReproduceAsync(sc ExperimentScale) ([]experiments.AsyncRow, error) {
+	return experiments.Async(sc)
+}
+
+// AblateConnectivity quantifies what full read connectivity buys on top
+// of dynamic allocation (the DAFC variant).
+func AblateConnectivity(sc ExperimentScale) ([]experiments.ConnectivityRow, error) {
+	return experiments.AblationConnectivity(sc)
+}
+
+// AblateArbitration compares smart vs dumb round-robin arbitration.
+func AblateArbitration(sc ExperimentScale) ([]experiments.ArbitrationRow, error) {
+	return experiments.AblationArbitration(sc)
+}
+
+// AblateBurstiness compares independent packets against multi-packet
+// message traffic at equal offered load.
+func AblateBurstiness(sc ExperimentScale) ([]experiments.BurstRow, error) {
+	return experiments.AblationBurstiness(sc)
+}
+
+// AsyncNetworkConfig parameterizes the asynchronous event-driven
+// simulator directly.
+type AsyncNetworkConfig = eventsim.Config
+
+// AsyncNetworkResult aggregates an asynchronous run.
+type AsyncNetworkResult = eventsim.Result
+
+// RunAsyncNetwork builds and runs an asynchronous network simulation.
+func RunAsyncNetwork(cfg AsyncNetworkConfig) (*AsyncNetworkResult, error) {
+	sim, err := eventsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+// ChipOmegaNetwork is an Omega network built from cycle-accurate ComCoBB
+// chips (byte-level simulation; for validation, not capacity planning).
+type ChipOmegaNetwork = chipnet.Network
+
+// ChipOmegaConfig parameterizes a chip-level network.
+type ChipOmegaConfig = chipnet.Config
+
+// NewChipOmegaNetwork builds an Omega network of ComCoBB chips.
+func NewChipOmegaNetwork(cfg ChipOmegaConfig) (*ChipOmegaNetwork, error) {
+	return chipnet.New(cfg)
+}
+
+// RenderFigure3 formats series as a text table plus an ASCII plot.
+func RenderFigure3(series []Figure3Series) string { return experiments.RenderFigure3(series) }
+
+// RenderFigure3SVG renders series as a standalone SVG figure.
+func RenderFigure3SVG(series []Figure3Series, title string) string {
+	return plot.SVG(series, plot.Options{Title: title})
+}
+
+// BurstyTraffic generates multi-packet messages (geometric length, one
+// destination per message) — the workload shape of the ComCoBB's
+// message/virtual-circuit design.
+const BurstyTraffic = netsim.Bursty

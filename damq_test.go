@@ -1,0 +1,125 @@
+package damq_test
+
+import (
+	"testing"
+
+	"damq"
+)
+
+// TestQuickstartFlow exercises the facade the way README's quickstart
+// does: build a DAMQ buffer, demonstrate non-FIFO forwarding, verify
+// invariants.
+func TestQuickstartFlow(t *testing.T) {
+	buf := damq.NewDAMQBuffer(4, 8)
+	a := &damq.Packet{ID: 1, Dest: 0, OutPort: 0, Slots: 1}
+	b := &damq.Packet{ID: 2, Dest: 2, OutPort: 2, Slots: 1}
+	if err := buf.Accept(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Accept(b); err != nil {
+		t.Fatal(err)
+	}
+	// b overtakes a: output 2 is served even though a arrived first.
+	if got := buf.Pop(2); got != b {
+		t.Fatalf("Pop(2) = %v", got)
+	}
+	if err := buf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBufferAllKinds(t *testing.T) {
+	for _, kind := range damq.BufferKinds() {
+		buf, err := damq.NewBuffer(kind, 4, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if buf.Kind() != kind {
+			t.Fatalf("%v: wrong kind", kind)
+		}
+	}
+	if _, err := damq.NewBuffer(damq.SAMQ, 4, 7); err == nil {
+		t.Fatal("SAMQ accepted indivisible capacity")
+	}
+}
+
+func TestParseBufferKind(t *testing.T) {
+	k, err := damq.ParseBufferKind("DAMQ")
+	if err != nil || k != damq.DAMQ {
+		t.Fatalf("parse: %v %v", k, err)
+	}
+}
+
+func TestDiscardProbabilityFacade(t *testing.T) {
+	p, err := damq.DiscardProbability(damq.DAMQ, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 0.05 {
+		t.Fatalf("DAMQ/4 @ 90%% = %v, expected ~0.012", p)
+	}
+	if _, err := damq.DiscardProbability(damq.SAMQ, 3, 0.9); err == nil {
+		t.Fatal("accepted odd SAMQ slots")
+	}
+}
+
+func TestRunNetworkFacade(t *testing.T) {
+	res, err := damq.RunNetwork(damq.NetworkConfig{
+		BufferKind:    damq.DAMQ,
+		Capacity:      4,
+		Policy:        damq.SmartArbitration,
+		Protocol:      damq.Blocking,
+		Traffic:       damq.TrafficSpec{Kind: damq.UniformTraffic, Load: 0.3},
+		WarmupCycles:  200,
+		MeasureCycles: 1000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() < 0.25 || res.Throughput() > 0.35 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+}
+
+func TestChipFacade(t *testing.T) {
+	chip := damq.NewChip(damq.ChipConfig{Trace: &damq.ChipTrace{}})
+	if err := chip.In(0).Router().Set(0x01, damq.Route{Out: 1, NewHeader: 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	// Two-chip mini network through the facade.
+	far := damq.NewChip(damq.ChipConfig{})
+	if err := far.In(0).Router().Set(0x02, damq.Route{Out: 3, NewHeader: 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	damq.ConnectChips(chip, 1, far, 0)
+	net := damq.NewChipNetwork(chip, far)
+	net.Run(5)
+	if chip.Cycle() != 5 || far.Cycle() != 5 {
+		t.Fatal("network tick did not advance both chips")
+	}
+}
+
+func TestSwitchFacade(t *testing.T) {
+	s, err := damq.NewSwitch(damq.SwitchConfig{
+		Ports: 4, BufferKind: damq.DAMQ, Capacity: 4, Policy: damq.SmartArbitration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ports() != 4 {
+		t.Fatal("wrong port count")
+	}
+}
+
+func TestReproduceTable1Facade(t *testing.T) {
+	res, err := damq.ReproduceTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Lengths {
+		if res.TurnAround[i] != 4 {
+			t.Fatalf("turn-around %d != 4", res.TurnAround[i])
+		}
+	}
+}

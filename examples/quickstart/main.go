@@ -1,0 +1,66 @@
+// Quickstart: the DAMQ buffer in isolation.
+//
+// This example shows the property that gives the dynamically allocated
+// multi-queue buffer its edge over a FIFO: packets for idle output ports
+// are never stuck behind packets for busy ones, while the whole slot pool
+// remains available to any destination.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"damq"
+)
+
+func main() {
+	// A buffer for one input port of a 4x4 switch, 8 storage slots.
+	buf := damq.NewDAMQBuffer(4, 8)
+
+	// Three packets arrive in order: two for output 0, one for output 2.
+	// (OutPort is what the switch's router assigned; Slots is storage
+	// footprint — variable-length packets take several slots.)
+	first := &damq.Packet{ID: 1, Dest: 0, OutPort: 0, Slots: 2}
+	second := &damq.Packet{ID: 2, Dest: 0, OutPort: 0, Slots: 1}
+	third := &damq.Packet{ID: 3, Dest: 2, OutPort: 2, Slots: 4}
+	for _, p := range []*damq.Packet{first, second, third} {
+		if err := buf.Accept(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("buffered %d packets; %d of %d slots free\n",
+		buf.Len(), buf.Free(), buf.Capacity())
+
+	// Output 0 is busy elsewhere. With a FIFO, packet 3 would be blocked
+	// behind packets 1 and 2 (head-of-line blocking). The DAMQ serves
+	// output 2 immediately:
+	if p := buf.Pop(2); p != nil {
+		fmt.Printf("output 2 idle -> transmitted %v ahead of older traffic\n", p)
+	}
+
+	// Queues are FIFO per output: packets 1 and 2 leave in arrival order.
+	fmt.Printf("output 0 drains in order: %v, then %v\n", buf.Pop(0), buf.Pop(0))
+
+	// The slot pool is healthy (linked lists intact, slot conservation
+	// exact) — the same check the test suite runs after random soaks.
+	if err := buf.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("invariants OK; %d slots free again\n", buf.Free())
+
+	// The same API runs the paper's exact Markov analysis. Compare a
+	// 3-slot DAMQ to a 6-slot FIFO at 90% load (the paper's headline
+	// Table 2 observation: the small DAMQ wins).
+	damq3, err := damq.DiscardProbability(damq.DAMQ, 3, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fifo6, err := damq.DiscardProbability(damq.FIFO, 6, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(discard) at 90%% load: DAMQ with 3 slots %.4f vs FIFO with 6 slots %.4f\n",
+		damq3, fifo6)
+}

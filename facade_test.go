@@ -1,0 +1,133 @@
+package damq_test
+
+import (
+	"strings"
+	"testing"
+
+	"damq"
+)
+
+// tinyScale keeps facade-level experiment tests fast.
+var tinyScale = damq.ExperimentScale{Warmup: 200, Measure: 1200, Seed: 2}
+
+func TestReproduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	if _, err := damq.ReproduceTable3(tinyScale); err != nil {
+		t.Errorf("table3: %v", err)
+	}
+	rows4, err := damq.ReproduceTable4(tinyScale)
+	if err != nil || len(rows4) != 4 {
+		t.Errorf("table4: %v (%d rows)", err, len(rows4))
+	}
+	rows5, err := damq.ReproduceTable5(tinyScale)
+	if err != nil || len(rows5) != 6 {
+		t.Errorf("table5: %v (%d rows)", err, len(rows5))
+	}
+	rows6, err := damq.ReproduceTable6(tinyScale)
+	if err != nil || len(rows6) != 4 {
+		t.Errorf("table6: %v (%d rows)", err, len(rows6))
+	}
+	if _, err := damq.ReproduceVarLen(tinyScale); err != nil {
+		t.Errorf("varlen: %v", err)
+	}
+	if _, err := damq.ReproduceAsync(tinyScale); err != nil {
+		t.Errorf("async: %v", err)
+	}
+}
+
+func TestReproduceFigure3AndSVG(t *testing.T) {
+	series, err := damq.ReproduceFigure3([]damq.BufferKind{damq.DAMQ}, 4, tinyScale)
+	if err != nil || len(series) != 1 {
+		t.Fatalf("figure3: %v (%d series)", err, len(series))
+	}
+	txt := damq.RenderFigure3(series)
+	if !strings.Contains(txt, "DAMQ/4") {
+		t.Error("text render missing series")
+	}
+	svg := damq.RenderFigure3SVG(series, "test figure")
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "test figure") {
+		t.Error("SVG render malformed")
+	}
+}
+
+func TestAblationFacades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	if rows, err := damq.AblateConnectivity(tinyScale); err != nil || len(rows) != 4 {
+		t.Errorf("connectivity: %v (%d rows)", err, len(rows))
+	}
+	if rows, err := damq.AblateArbitration(tinyScale); err != nil || len(rows) != 4 {
+		t.Errorf("arbitration: %v (%d rows)", err, len(rows))
+	}
+	if rows, err := damq.AblateBurstiness(tinyScale); err != nil || len(rows) != 4 {
+		t.Errorf("burstiness: %v (%d rows)", err, len(rows))
+	}
+}
+
+func TestRunAsyncNetworkFacade(t *testing.T) {
+	res, err := damq.RunAsyncNetwork(damq.AsyncNetworkConfig{
+		BufferKind: damq.DAMQ,
+		Load:       0.3,
+		Warmup:     2000,
+		Measure:    10000,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinkUtilization < 0.25 || res.LinkUtilization > 0.35 {
+		t.Fatalf("utilization = %v", res.LinkUtilization)
+	}
+	if _, err := damq.RunAsyncNetwork(damq.AsyncNetworkConfig{Load: 2}); err == nil {
+		t.Fatal("accepted invalid load")
+	}
+}
+
+func TestChipOmegaFacade(t *testing.T) {
+	net, err := damq.NewChipOmegaNetwork(damq.ChipOmegaConfig{Inputs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(1, 14, []byte{9, 9, 9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(60)
+	if got := net.Delivered(14); len(got) != 1 || len(got[0].Data) != 3 {
+		t.Fatalf("delivery wrong: %+v", got)
+	}
+	if _, err := damq.NewChipOmegaNetwork(damq.ChipOmegaConfig{Inputs: 17}); err == nil {
+		t.Fatal("accepted bad width")
+	}
+}
+
+func TestReproduceTable2Facade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves 128 chains")
+	}
+	res, err := damq.ReproduceTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestBufferKindStrings(t *testing.T) {
+	kinds := damq.BufferKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if damq.DAFC.String() != "DAFC" {
+		t.Fatal("DAFC name wrong")
+	}
+	if damq.Blocking.String() != "blocking" || damq.Discarding.String() != "discarding" {
+		t.Fatal("protocol names wrong")
+	}
+	if damq.SmartArbitration.String() != "smart" || damq.DumbArbitration.String() != "dumb" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module damq
+
+go 1.22

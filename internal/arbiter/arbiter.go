@@ -1,0 +1,216 @@
+// Package arbiter implements the central crossbar arbiter of a switch,
+// with the two arbitration policies the paper simulates (Section 4.2):
+//
+//   - Dumb: buffers are examined one at a time in round-robin priority
+//     order; each cycle the priority pointer advances to the next buffer
+//     regardless of whether the previous priority holder transmitted.
+//   - Smart: the priority pointer advances only when the buffer that held
+//     priority actually transmitted a packet — a turn is not "counted"
+//     when every queue in the buffer was blocked. Additionally a stale
+//     count per queue tracks how long a queue has held packets without
+//     transmitting, and queue selection within a buffer prefers the
+//     stalest queue (ties broken by longest queue), maintaining fairness
+//     within the buffer.
+//
+// When examining a buffer the arbiter transmits from the longest eligible
+// (non-blocked, output-still-free) queue. A buffer with a single read port
+// (FIFO, SAMQ, DAMQ) gets at most one grant per cycle; an SAFC buffer may
+// receive up to one grant per queue.
+package arbiter
+
+import "fmt"
+
+// Policy selects the fairness scheme.
+type Policy int
+
+const (
+	// Dumb advances buffer priority round-robin unconditionally.
+	Dumb Policy = iota
+	// Smart advances priority only on successful transmission and applies
+	// per-queue stale counts.
+	Smart
+)
+
+// String names the policy as in the paper's tables.
+func (p Policy) String() string {
+	switch p {
+	case Dumb:
+		return "dumb"
+	case Smart:
+		return "smart"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts "dumb" or "smart" to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "dumb":
+		return Dumb, nil
+	case "smart":
+		return Smart, nil
+	}
+	return 0, fmt.Errorf("arbiter: unknown policy %q (want dumb|smart)", s)
+}
+
+// View is what the arbiter can see of the switch each cycle: the state of
+// every (input buffer, output queue) pair. Implementations are provided by
+// the switch model.
+type View interface {
+	// Ports returns the number of input buffers and output ports.
+	Ports() (inputs, outputs int)
+	// QueueLen is the number of packets input in could eventually send to
+	// out (0 when a FIFO's head is for a different output).
+	QueueLen(in, out int) int
+	// HasHead reports whether input in has a packet deliverable to out
+	// this cycle.
+	HasHead(in, out int) bool
+	// Blocked reports whether the head packet of (in, out) cannot be
+	// forwarded because the downstream buffer refuses it. Only meaningful
+	// when HasHead is true; under a discarding protocol it is always
+	// false.
+	Blocked(in, out int) bool
+	// MaxReads is the read-port limit of input in's buffer this cycle.
+	MaxReads(in int) int
+}
+
+// Grant is one crossbar connection for the current cycle.
+type Grant struct {
+	In  int
+	Out int
+}
+
+// Arbiter holds the priority pointer and stale counts across cycles.
+type Arbiter struct {
+	policy  Policy
+	inputs  int
+	outputs int
+	prio    int
+	stale   [][]int64 // [in][out] cycles the queue has waited with traffic
+}
+
+// New constructs an arbiter for a switch with the given port counts.
+func New(policy Policy, inputs, outputs int) *Arbiter {
+	if inputs <= 0 || outputs <= 0 {
+		panic("arbiter: ports must be positive")
+	}
+	st := make([][]int64, inputs)
+	for i := range st {
+		st[i] = make([]int64, outputs)
+	}
+	return &Arbiter{policy: policy, inputs: inputs, outputs: outputs, stale: st}
+}
+
+// Policy returns the arbitration policy in use.
+func (a *Arbiter) Policy() Policy { return a.policy }
+
+// Stale exposes the stale counter of queue (in, out) for tests.
+func (a *Arbiter) Stale(in, out int) int64 { return a.stale[in][out] }
+
+// Reset clears priority and stale state.
+func (a *Arbiter) Reset() {
+	a.prio = 0
+	for i := range a.stale {
+		for j := range a.stale[i] {
+			a.stale[i][j] = 0
+		}
+	}
+}
+
+// Arbitrate computes this cycle's crossbar matching. It appends grants to
+// dst (pass nil to allocate) and returns the result; the order of grants
+// follows the examination order, which tests rely on.
+func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
+	in, out := v.Ports()
+	if in != a.inputs || out != a.outputs {
+		panic(fmt.Sprintf("arbiter: view is %dx%d, arbiter is %dx%d", in, out, a.inputs, a.outputs))
+	}
+
+	outTaken := make([]bool, a.outputs)
+	granted := make([]bool, a.inputs) // whether the buffer transmitted at all
+	firstGranted := -1                // first input served, in examination order
+	sent := make([][]bool, a.inputs)  // (in, out) pairs granted this cycle
+	for i := range sent {
+		sent[i] = make([]bool, a.outputs)
+	}
+
+	for k := 0; k < a.inputs; k++ {
+		i := (a.prio + k) % a.inputs
+		reads := v.MaxReads(i)
+		for r := 0; r < reads; r++ {
+			best := -1
+			for o := 0; o < a.outputs; o++ {
+				if outTaken[o] || !v.HasHead(i, o) || v.Blocked(i, o) {
+					continue
+				}
+				if best == -1 || a.better(v, i, o, best) {
+					best = o
+				}
+			}
+			if best == -1 {
+				break
+			}
+			outTaken[best] = true
+			granted[i] = true
+			sent[i][best] = true
+			if firstGranted == -1 {
+				firstGranted = i
+			}
+			dst = append(dst, Grant{In: i, Out: best})
+		}
+	}
+
+	// Update stale counts: queues holding traffic that did not transmit
+	// age by one; transmitting or empty queues reset. (A queue that sent
+	// one of several waiting packets still made progress, so it resets.)
+	for i := 0; i < a.inputs; i++ {
+		for o := 0; o < a.outputs; o++ {
+			if v.QueueLen(i, o) > 0 && !sent[i][o] {
+				a.stale[i][o]++
+			} else {
+				a.stale[i][o] = 0
+			}
+		}
+	}
+
+	// Advance the priority pointer.
+	switch a.policy {
+	case Dumb:
+		a.prio = (a.prio + 1) % a.inputs
+	case Smart:
+		// The paper's rule: a priority holder whose packets were all
+		// blocked keeps its turn ("does not count the times a buffer has
+		// priority but still does not transmit"). That rule is only
+		// about buffers that *held traffic*: an empty holder forfeits,
+		// and the pointer rotates to just past the first buffer actually
+		// served, so quiet inputs cannot pin the examination order and
+		// starve later buffers.
+		holderHadTraffic := false
+		for o := 0; o < a.outputs; o++ {
+			if v.QueueLen(a.prio, o) > 0 {
+				holderHadTraffic = true
+				break
+			}
+		}
+		switch {
+		case holderHadTraffic && !granted[a.prio]:
+			// Blocked with traffic: turn not counted, priority retained.
+		case firstGranted >= 0:
+			a.prio = (firstGranted + 1) % a.inputs
+		default:
+			a.prio = (a.prio + 1) % a.inputs
+		}
+	}
+	return dst
+}
+
+// better reports whether output o beats the incumbent best for input i
+// under the active policy's within-buffer selection rule: stalest first
+// (smart only), then longest queue, ties keeping the lowest output.
+func (a *Arbiter) better(v View, i, o, best int) bool {
+	if a.policy == Smart && a.stale[i][o] != a.stale[i][best] {
+		return a.stale[i][o] > a.stale[i][best]
+	}
+	return v.QueueLen(i, o) > v.QueueLen(i, best)
+}

@@ -1,0 +1,187 @@
+// Package buffer implements the four input-port buffer organizations
+// compared in Tamir & Frazier (1988) under the long-clock packet model:
+//
+//   - FIFO: a single first-in-first-out queue over a shared slot pool.
+//   - SAMQ: statically allocated multi-queue — one FIFO queue per output
+//     port, each with a fixed share of the slots, all in one RAM with a
+//     single read port.
+//   - SAFC: statically allocated fully connected — like SAMQ but each
+//     queue has its own RAM, so every queue of the buffer can be read in
+//     the same cycle.
+//   - DAMQ: dynamically allocated multi-queue — one FIFO queue per output
+//     port threaded through a shared slot pool with hardware linked lists
+//     (the paper's contribution).
+//
+// All four expose the same Buffer interface so the switch and network
+// simulators are parameterized only by buffer kind. Storage is counted in
+// slots; fixed-length experiments use one slot per packet, the
+// variable-length extension uses several.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"damq/internal/packet"
+)
+
+// Kind identifies one of the paper's four buffer organizations.
+type Kind int
+
+const (
+	FIFO Kind = iota
+	SAMQ
+	SAFC
+	DAMQ
+	// DAFC (dynamically allocated, fully connected) is not one of the
+	// paper's four designs but the fourth corner of its design space:
+	// DAMQ's shared slot pool combined with SAFC's one-read-port-per-queue
+	// connectivity. It exists to quantify the paper's observation that
+	// "the additional throughput provided by fully connecting the inputs
+	// with the outputs does not provide a significant boost" — see the
+	// connectivity ablation in internal/experiments.
+	DAFC
+)
+
+var kindNames = [...]string{"FIFO", "SAMQ", "SAFC", "DAMQ", "DAFC"}
+
+// String returns the paper's name for the buffer kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists the paper's four buffer kinds in its comparison order.
+// The DAFC ablation variant is excluded; use AllKinds to include it.
+func Kinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ} }
+
+// AllKinds lists every constructible kind, including the DAFC ablation.
+func AllKinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ, DAFC} }
+
+// ParseKind converts a name like "damq" to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if equalFold(s, n) {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("buffer: unknown kind %q (want fifo|samq|safc|damq)", s)
+}
+
+// equalFold is a tiny ASCII-only case-insensitive comparison, avoiding a
+// strings import for one call site.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Buffer is the long-clock behavioural contract shared by all four
+// organizations. A Buffer belongs to one input port of a switch; packets
+// stored in it have already been routed (Packet.OutPort names the local
+// output port the packet wants).
+//
+// Head/Pop semantics encode each design's read restrictions: Head(out)
+// is the packet the buffer could deliver to output out this cycle, or nil.
+// For multi-queue buffers that is the head of the per-output queue; for a
+// FIFO it is the single head packet, and only for that packet's own
+// destination — head-of-line blocking falls out of this definition.
+// MaxReadsPerCycle is 1 for single-read-port designs (FIFO, SAMQ, DAMQ)
+// and NumOutputs for SAFC; the crossbar arbiter enforces it.
+type Buffer interface {
+	// Kind reports the buffer organization.
+	Kind() Kind
+	// NumOutputs is the number of output ports packets may be routed to.
+	NumOutputs() int
+	// Capacity is total storage in slots.
+	Capacity() int
+	// Free is the number of slots available to a new packet addressed to
+	// any output for dynamic designs; for static designs it is the total
+	// free count across queues (use CanAccept for admission decisions).
+	Free() int
+	// Len is the number of packets currently buffered.
+	Len() int
+	// CanAccept reports whether p (with OutPort set) fits right now.
+	CanAccept(p *packet.Packet) bool
+	// Accept stores p. It returns an error if CanAccept(p) is false or
+	// p.OutPort is out of range.
+	Accept(p *packet.Packet) error
+	// QueueLen is the length, in packets, of the queue that would serve
+	// output out. For a FIFO it is the whole queue length if the head
+	// packet wants out, else 0.
+	QueueLen(out int) int
+	// Head returns the packet deliverable to out this cycle, or nil.
+	Head(out int) *packet.Packet
+	// Pop removes and returns Head(out); nil if there is none.
+	Pop(out int) *packet.Packet
+	// MaxReadsPerCycle is how many packets may leave per long cycle.
+	MaxReadsPerCycle() int
+	// Reset discards all contents.
+	Reset()
+}
+
+// ErrFull is wrapped by Accept when the packet does not fit.
+var ErrFull = errors.New("buffer full")
+
+// ErrBadPort is wrapped by Accept when OutPort is out of range.
+var ErrBadPort = errors.New("output port out of range")
+
+// Config describes a buffer to construct.
+type Config struct {
+	Kind       Kind
+	NumOutputs int // n of the n x n switch
+	Capacity   int // total slots at this input port
+}
+
+// New constructs a buffer. SAMQ and SAFC statically partition Capacity
+// across NumOutputs queues, so Capacity must be a positive multiple of
+// NumOutputs (the paper: "they can only have an even number of slots");
+// FIFO and DAMQ accept any positive capacity.
+func New(cfg Config) (Buffer, error) {
+	if cfg.NumOutputs <= 0 {
+		return nil, fmt.Errorf("buffer: NumOutputs must be positive, got %d", cfg.NumOutputs)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("buffer: Capacity must be positive, got %d", cfg.Capacity)
+	}
+	switch cfg.Kind {
+	case FIFO:
+		return newFIFO(cfg.NumOutputs, cfg.Capacity), nil
+	case SAMQ, SAFC:
+		if cfg.Capacity%cfg.NumOutputs != 0 {
+			return nil, fmt.Errorf("buffer: %v capacity %d not divisible by %d outputs",
+				cfg.Kind, cfg.Capacity, cfg.NumOutputs)
+		}
+		return newStatic(cfg.Kind, cfg.NumOutputs, cfg.Capacity), nil
+	case DAMQ:
+		return NewDAMQ(cfg.NumOutputs, cfg.Capacity), nil
+	case DAFC:
+		return &dafc{DAMQBuffer: NewDAMQ(cfg.NumOutputs, cfg.Capacity)}, nil
+	default:
+		return nil, fmt.Errorf("buffer: unknown kind %v", cfg.Kind)
+	}
+}
+
+// MustNew is New for tests and examples with known-good configs.
+func MustNew(cfg Config) Buffer {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,19 @@
+package buffer
+
+// dafc is the DAMQ slot pool with SAFC-style read bandwidth: every
+// per-output queue gets its own read path, so several queues of the same
+// input port can transmit in one cycle. In hardware this would cost a
+// multi-ported (or banked) slot RAM plus per-output crossbar lanes —
+// exactly the overhead the paper's Section 2 argues against; the
+// connectivity ablation measures what that overhead would buy.
+type dafc struct {
+	*DAMQBuffer
+}
+
+// Kind reports DAFC.
+func (b *dafc) Kind() Kind { return DAFC }
+
+// MaxReadsPerCycle lifts the single-read-port restriction.
+func (b *dafc) MaxReadsPerCycle() int { return b.NumOutputs() }
+
+var _ Buffer = (*dafc)(nil)

@@ -1,0 +1,39 @@
+package buffer
+
+import "testing"
+
+func TestDAFCBehaviour(t *testing.T) {
+	b := MustNew(Config{Kind: DAFC, NumOutputs: 4, Capacity: 8})
+	if b.Kind() != DAFC {
+		t.Fatalf("kind = %v", b.Kind())
+	}
+	if b.MaxReadsPerCycle() != 4 {
+		t.Fatalf("reads/cycle = %d, want 4", b.MaxReadsPerCycle())
+	}
+	// Pooled storage like DAMQ: all 8 slots available to one output.
+	for i := uint64(1); i <= 8; i++ {
+		if err := b.Accept(mk(i, 0, 1)); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+	if b.CanAccept(mk(9, 1, 1)) {
+		t.Fatal("accepted into full pool")
+	}
+}
+
+func TestDAFCInAllKinds(t *testing.T) {
+	all := AllKinds()
+	if len(all) != 5 || all[4] != DAFC {
+		t.Fatalf("AllKinds = %v", all)
+	}
+	// The paper's list stays at four.
+	if len(Kinds()) != 4 {
+		t.Fatalf("Kinds = %v", Kinds())
+	}
+	if DAFC.String() != "DAFC" {
+		t.Fatalf("name = %q", DAFC.String())
+	}
+	if k, err := ParseKind("dafc"); err != nil || k != DAFC {
+		t.Fatalf("parse: %v %v", k, err)
+	}
+}

@@ -1,0 +1,321 @@
+package buffer
+
+import (
+	"fmt"
+	"strings"
+
+	"damq/internal/packet"
+)
+
+// DAMQBuffer is the dynamically allocated multi-queue buffer of Tamir &
+// Frazier — the paper's contribution. It is deliberately implemented the
+// way the hardware works rather than with Go slices:
+//
+//   - storage is a pool of fixed-size slots;
+//   - every slot has a pointer register (next) naming the next slot of its
+//     linked list;
+//   - one linked list per output port holds the packets routed to that
+//     port, in FIFO order, plus one list of free slots;
+//   - per-list head and tail registers locate the first and last slot.
+//
+// A packet occupying k slots is stored in k slots chained through their
+// pointer registers; the last slot of a packet chains to the first slot of
+// the next packet in the same queue, exactly as in the chip, so a queue is
+// one continuous linked list of slots. Any free slot can serve any packet
+// for any output — this dynamic allocation is what distinguishes the DAMQ
+// from the statically partitioned SAMQ/SAFC.
+//
+// The exported type (rather than an unexported one behind New) lets tests
+// and the comcobb package exercise the structural invariants directly.
+type DAMQBuffer struct {
+	numOutputs int
+	capacity   int
+
+	next  []int32          // per-slot pointer register
+	owner []*packet.Packet // packet whose *first* slot this is; nil for continuation slots
+
+	freeHead  int32
+	freeTail  int32
+	freeCount int
+
+	qHead  []int32 // per-output head register
+	qTail  []int32 // per-output tail register
+	qPkts  []int   // packets per queue
+	qSlots []int   // slots per queue
+}
+
+const nilSlot = int32(-1)
+
+// NewDAMQ constructs a DAMQ buffer with the given queue count and total
+// slot capacity.
+func NewDAMQ(numOutputs, capacity int) *DAMQBuffer {
+	b := &DAMQBuffer{
+		numOutputs: numOutputs,
+		capacity:   capacity,
+		next:       make([]int32, capacity),
+		owner:      make([]*packet.Packet, capacity),
+		qHead:      make([]int32, numOutputs),
+		qTail:      make([]int32, numOutputs),
+		qPkts:      make([]int, numOutputs),
+		qSlots:     make([]int, numOutputs),
+	}
+	b.Reset()
+	return b
+}
+
+func (b *DAMQBuffer) Kind() Kind            { return DAMQ }
+func (b *DAMQBuffer) NumOutputs() int       { return b.numOutputs }
+func (b *DAMQBuffer) Capacity() int         { return b.capacity }
+func (b *DAMQBuffer) Free() int             { return b.freeCount }
+func (b *DAMQBuffer) MaxReadsPerCycle() int { return 1 }
+
+func (b *DAMQBuffer) Len() int {
+	n := 0
+	for _, c := range b.qPkts {
+		n += c
+	}
+	return n
+}
+
+// QueueSlots reports the slots currently held by the queue for out, used
+// by tests and the occupancy ablation.
+func (b *DAMQBuffer) QueueSlots(out int) int { return b.qSlots[out] }
+
+func (b *DAMQBuffer) CanAccept(p *packet.Packet) bool {
+	return p.Slots <= b.freeCount
+}
+
+// takeFree removes and returns the head of the free list.
+func (b *DAMQBuffer) takeFree() int32 {
+	s := b.freeHead
+	b.freeHead = b.next[s]
+	if b.freeHead == nilSlot {
+		b.freeTail = nilSlot
+	}
+	b.freeCount--
+	return s
+}
+
+// giveFree appends slot s to the free list, mirroring the transmission
+// manager FSM returning freed slots.
+func (b *DAMQBuffer) giveFree(s int32) {
+	b.next[s] = nilSlot
+	b.owner[s] = nil
+	if b.freeTail == nilSlot {
+		b.freeHead = s
+	} else {
+		b.next[b.freeTail] = s
+	}
+	b.freeTail = s
+	b.freeCount++
+}
+
+func (b *DAMQBuffer) Accept(p *packet.Packet) error {
+	out := p.OutPort
+	if out < 0 || out >= b.numOutputs {
+		return fmt.Errorf("damq: %w: %d", ErrBadPort, out)
+	}
+	if p.Slots <= 0 {
+		return fmt.Errorf("damq: packet %v has non-positive slot count", p)
+	}
+	if p.Slots > b.freeCount {
+		return fmt.Errorf("damq: %w (free %d, need %d)", ErrFull, b.freeCount, p.Slots)
+	}
+	// Pull the packet's slots off the free list and chain them. The first
+	// slot records the packet (the hardware's header/length registers are
+	// associated with the packet's first slot).
+	first := b.takeFree()
+	b.owner[first] = p
+	last := first
+	for i := 1; i < p.Slots; i++ {
+		s := b.takeFree()
+		b.next[last] = s
+		last = s
+	}
+	b.next[last] = nilSlot
+
+	// Append to the queue: point the old tail's slot at the packet's first
+	// slot, then move the tail register.
+	if b.qTail[out] == nilSlot {
+		b.qHead[out] = first
+	} else {
+		b.next[b.qTail[out]] = first
+	}
+	b.qTail[out] = last
+	b.qPkts[out]++
+	b.qSlots[out] += p.Slots
+	return nil
+}
+
+func (b *DAMQBuffer) QueueLen(out int) int { return b.qPkts[out] }
+
+func (b *DAMQBuffer) Head(out int) *packet.Packet {
+	if b.qPkts[out] == 0 {
+		return nil
+	}
+	return b.owner[b.qHead[out]]
+}
+
+func (b *DAMQBuffer) Pop(out int) *packet.Packet {
+	if b.qPkts[out] == 0 {
+		return nil
+	}
+	first := b.qHead[out]
+	p := b.owner[first]
+	// Walk the packet's slots, advancing the head register and returning
+	// each slot to the free list as the hardware does after transmission.
+	s := first
+	for i := 0; i < p.Slots; i++ {
+		n := b.next[s]
+		b.giveFree(s)
+		s = n
+	}
+	b.qHead[out] = s
+	if s == nilSlot {
+		b.qTail[out] = nilSlot
+	}
+	b.qPkts[out]--
+	b.qSlots[out] -= p.Slots
+	return p
+}
+
+func (b *DAMQBuffer) Reset() {
+	// All slots onto the free list, in index order.
+	for i := range b.next {
+		b.next[i] = int32(i + 1)
+		b.owner[i] = nil
+	}
+	if b.capacity > 0 {
+		b.next[b.capacity-1] = nilSlot
+		b.freeHead = 0
+		b.freeTail = int32(b.capacity - 1)
+	} else {
+		b.freeHead, b.freeTail = nilSlot, nilSlot
+	}
+	b.freeCount = b.capacity
+	for i := 0; i < b.numOutputs; i++ {
+		b.qHead[i] = nilSlot
+		b.qTail[i] = nilSlot
+		b.qPkts[i] = 0
+		b.qSlots[i] = 0
+	}
+}
+
+// CheckInvariants verifies the structural health of the slot pool: every
+// slot is on exactly one list, per-queue counters match the lists, queue
+// order is intact, and free accounting is exact. Tests call it after
+// random operation sequences; it is the software analogue of the FSM
+// synchronization argument in Section 3.2.3 of the paper.
+func (b *DAMQBuffer) CheckInvariants() error {
+	seen := make([]bool, b.capacity)
+
+	walk := func(head int32, name string) (slots int, err error) {
+		for s := head; s != nilSlot; s = b.next[s] {
+			if s < 0 || int(s) >= b.capacity {
+				return 0, fmt.Errorf("damq: %s list points at invalid slot %d", name, s)
+			}
+			if seen[s] {
+				return 0, fmt.Errorf("damq: slot %d appears on two lists (second: %s)", s, name)
+			}
+			seen[s] = true
+			slots++
+			if slots > b.capacity {
+				return 0, fmt.Errorf("damq: %s list is cyclic", name)
+			}
+		}
+		return slots, nil
+	}
+
+	freeSlots, err := walk(b.freeHead, "free")
+	if err != nil {
+		return err
+	}
+	if freeSlots != b.freeCount {
+		return fmt.Errorf("damq: free list has %d slots, counter says %d", freeSlots, b.freeCount)
+	}
+
+	total := freeSlots
+	for out := 0; out < b.numOutputs; out++ {
+		// Walk the queue packet by packet to validate per-packet chaining.
+		s := b.qHead[out]
+		pkts, slots := 0, 0
+		for s != nilSlot {
+			p := b.owner[s]
+			if p == nil {
+				return fmt.Errorf("damq: queue %d head slot %d has no owner packet", out, s)
+			}
+			if p.OutPort != out {
+				return fmt.Errorf("damq: packet %v found on queue %d", p, out)
+			}
+			last := s
+			for i := 0; i < p.Slots; i++ {
+				if last == nilSlot {
+					return fmt.Errorf("damq: packet %v truncated in queue %d", p, out)
+				}
+				if i > 0 && b.owner[last] != nil {
+					return fmt.Errorf("damq: continuation slot %d of %v owns a packet", last, p)
+				}
+				if seen[last] {
+					return fmt.Errorf("damq: slot %d double-booked in queue %d", last, out)
+				}
+				seen[last] = true
+				slots++
+				if i < p.Slots-1 {
+					last = b.next[last]
+				}
+			}
+			if b.next[last] == nilSlot && b.qTail[out] != last {
+				return fmt.Errorf("damq: queue %d tail register %d != actual tail %d", out, b.qTail[out], last)
+			}
+			s = b.next[last]
+			pkts++
+			if pkts > b.capacity {
+				return fmt.Errorf("damq: queue %d is cyclic", out)
+			}
+		}
+		if pkts != b.qPkts[out] {
+			return fmt.Errorf("damq: queue %d has %d packets, counter says %d", out, pkts, b.qPkts[out])
+		}
+		if slots != b.qSlots[out] {
+			return fmt.Errorf("damq: queue %d holds %d slots, counter says %d", out, slots, b.qSlots[out])
+		}
+		if pkts == 0 && (b.qHead[out] != nilSlot || b.qTail[out] != nilSlot) {
+			return fmt.Errorf("damq: empty queue %d has live head/tail registers", out)
+		}
+		total += slots
+	}
+	if total != b.capacity {
+		return fmt.Errorf("damq: %d slots accounted for, capacity %d", total, b.capacity)
+	}
+	return nil
+}
+
+// Dump renders the slot pool's linked-list structure for debugging: each
+// queue as its chain of (slot, packet) hops and the free list as slot
+// indices. The output is the software view of the chip's pointer
+// registers.
+func (b *DAMQBuffer) Dump() string {
+	var sb strings.Builder
+	for out := 0; out < b.numOutputs; out++ {
+		fmt.Fprintf(&sb, "q%d:", out)
+		s := b.qHead[out]
+		for n := 0; n < b.qPkts[out]; n++ {
+			p := b.owner[s]
+			fmt.Fprintf(&sb, " [pkt%d:", p.ID)
+			for i := 0; i < p.Slots; i++ {
+				fmt.Fprintf(&sb, " %d", s)
+				s = b.next[s]
+			}
+			sb.WriteString("]")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("free:")
+	for s := b.freeHead; s != nilSlot; s = b.next[s] {
+		fmt.Fprintf(&sb, " %d", s)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+var _ Buffer = (*DAMQBuffer)(nil)

@@ -1,0 +1,79 @@
+package buffer
+
+import (
+	"fmt"
+
+	"damq/internal/packet"
+)
+
+// fifo is the control design: one queue, one read port, whole pool shared.
+// Any packet can use any free slot (good storage utilization) but only the
+// head packet is visible to the crossbar (head-of-line blocking).
+type fifo struct {
+	numOutputs int
+	capacity   int
+	used       int // slots occupied
+	q          []*packet.Packet
+}
+
+func newFIFO(numOutputs, capacity int) *fifo {
+	return &fifo{numOutputs: numOutputs, capacity: capacity}
+}
+
+func (b *fifo) Kind() Kind            { return FIFO }
+func (b *fifo) NumOutputs() int       { return b.numOutputs }
+func (b *fifo) Capacity() int         { return b.capacity }
+func (b *fifo) Free() int             { return b.capacity - b.used }
+func (b *fifo) Len() int              { return len(b.q) }
+func (b *fifo) MaxReadsPerCycle() int { return 1 }
+
+func (b *fifo) CanAccept(p *packet.Packet) bool {
+	return p.Slots <= b.Free()
+}
+
+func (b *fifo) Accept(p *packet.Packet) error {
+	if p.OutPort < 0 || p.OutPort >= b.numOutputs {
+		return fmt.Errorf("fifo: %w: %d", ErrBadPort, p.OutPort)
+	}
+	if !b.CanAccept(p) {
+		return fmt.Errorf("fifo: %w (free %d, need %d)", ErrFull, b.Free(), p.Slots)
+	}
+	b.used += p.Slots
+	b.q = append(b.q, p)
+	return nil
+}
+
+func (b *fifo) QueueLen(out int) int {
+	if len(b.q) == 0 || b.q[0].OutPort != out {
+		return 0
+	}
+	return len(b.q)
+}
+
+func (b *fifo) Head(out int) *packet.Packet {
+	if len(b.q) == 0 || b.q[0].OutPort != out {
+		return nil
+	}
+	return b.q[0]
+}
+
+func (b *fifo) Pop(out int) *packet.Packet {
+	p := b.Head(out)
+	if p == nil {
+		return nil
+	}
+	b.q[0] = nil // allow GC of the slot
+	b.q = b.q[1:]
+	b.used -= p.Slots
+	// Reclaim backing array occasionally so a long run does not grow it
+	// without bound (slicing b.q[1:] leaks the front otherwise).
+	if len(b.q) == 0 {
+		b.q = nil
+	}
+	return p
+}
+
+func (b *fifo) Reset() {
+	b.q = nil
+	b.used = 0
+}

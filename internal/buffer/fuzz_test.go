@@ -1,0 +1,43 @@
+package buffer
+
+import (
+	"testing"
+
+	"damq/internal/packet"
+)
+
+// FuzzDAMQOperations drives a DAMQ buffer with an arbitrary operation
+// script: every byte encodes accept/pop, output port, and packet size.
+// The structural invariants must hold after every step regardless of the
+// script — the fuzz-shaped twin of the quick.Check property test.
+func FuzzDAMQOperations(f *testing.F) {
+	f.Add([]byte{0x00, 0x81, 0x42, 0x03})
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x00, 0x7F})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		b := NewDAMQ(4, 12)
+		var id uint64
+		for i, op := range script {
+			out := int(op>>2) % 4
+			if op&1 == 0 {
+				slots := int(op>>4)%4 + 1
+				id++
+				p := &packet.Packet{ID: id, OutPort: out, Slots: slots}
+				if b.CanAccept(p) {
+					if err := b.Accept(p); err != nil {
+						t.Fatalf("step %d: accept after CanAccept: %v", i, err)
+					}
+				}
+			} else {
+				b.Pop(out)
+			}
+			if op&0x40 != 0 {
+				if err := b.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

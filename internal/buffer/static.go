@@ -1,0 +1,125 @@
+package buffer
+
+import (
+	"fmt"
+
+	"damq/internal/packet"
+)
+
+// static implements both statically allocated designs, SAMQ and SAFC.
+// Storage is pre-partitioned: each output port owns capacity/numOutputs
+// slots that no other traffic can use, so a burst toward one output can be
+// rejected while slots reserved for other outputs sit empty — the storage
+// inefficiency the DAMQ removes.
+//
+// The two designs differ only in read bandwidth: SAMQ keeps all queues in
+// one single-read-port RAM (one packet may leave the buffer per cycle),
+// SAFC gives every queue its own RAM and crossbar lane (all queues may
+// transmit simultaneously). Admission is identical.
+type static struct {
+	kind       Kind
+	numOutputs int
+	perQueue   int // slots statically owned by each output's queue
+	queues     []staticQueue
+}
+
+// staticQueue is one per-output FIFO with its own slot budget.
+type staticQueue struct {
+	used int
+	pkts []*packet.Packet
+}
+
+func newStatic(kind Kind, numOutputs, capacity int) *static {
+	return &static{
+		kind:       kind,
+		numOutputs: numOutputs,
+		perQueue:   capacity / numOutputs,
+		queues:     make([]staticQueue, numOutputs),
+	}
+}
+
+func (b *static) Kind() Kind      { return b.kind }
+func (b *static) NumOutputs() int { return b.numOutputs }
+func (b *static) Capacity() int   { return b.perQueue * b.numOutputs }
+
+func (b *static) Free() int {
+	free := 0
+	for i := range b.queues {
+		free += b.perQueue - b.queues[i].used
+	}
+	return free
+}
+
+// QueueFree reports the free slots in the queue serving out. It is the
+// quantity the paper's per-queue flow control must communicate upstream
+// (four times the flow-control information of a FIFO, as Section 2 notes).
+func (b *static) QueueFree(out int) int {
+	return b.perQueue - b.queues[out].used
+}
+
+func (b *static) Len() int {
+	n := 0
+	for i := range b.queues {
+		n += len(b.queues[i].pkts)
+	}
+	return n
+}
+
+func (b *static) MaxReadsPerCycle() int {
+	if b.kind == SAFC {
+		return b.numOutputs
+	}
+	return 1
+}
+
+func (b *static) CanAccept(p *packet.Packet) bool {
+	if p.OutPort < 0 || p.OutPort >= b.numOutputs {
+		return false
+	}
+	return p.Slots <= b.QueueFree(p.OutPort)
+}
+
+func (b *static) Accept(p *packet.Packet) error {
+	if p.OutPort < 0 || p.OutPort >= b.numOutputs {
+		return fmt.Errorf("%v: %w: %d", b.kind, ErrBadPort, p.OutPort)
+	}
+	if !b.CanAccept(p) {
+		return fmt.Errorf("%v: %w (queue %d free %d, need %d)",
+			b.kind, ErrFull, p.OutPort, b.QueueFree(p.OutPort), p.Slots)
+	}
+	q := &b.queues[p.OutPort]
+	q.used += p.Slots
+	q.pkts = append(q.pkts, p)
+	return nil
+}
+
+func (b *static) QueueLen(out int) int { return len(b.queues[out].pkts) }
+
+func (b *static) Head(out int) *packet.Packet {
+	q := &b.queues[out]
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}
+
+func (b *static) Pop(out int) *packet.Packet {
+	q := &b.queues[out]
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	if len(q.pkts) == 0 {
+		q.pkts = nil
+	}
+	q.used -= p.Slots
+	return p
+}
+
+func (b *static) Reset() {
+	for i := range b.queues {
+		b.queues[i] = staticQueue{}
+	}
+}

@@ -1,0 +1,176 @@
+// Package chipnet assembles cycle-accurate ComCoBB chips into an Omega
+// multistage interconnection network — the deployment the paper says the
+// DAMQ design targets beyond the coprocessor ("an almost identical design
+// can be used for DAMQ buffers in a switch of a multistage
+// interconnection network", Section 3).
+//
+// Where package netsim abstracts a switch hop into one long clock,
+// chipnet moves every byte through real synchronizers, routers, slot RAMs
+// and crossbars. It is three orders of magnitude slower per simulated
+// packet and exists for validation, not capacity planning: it confirms
+// that the long-clock model's latency structure (pipelined 4-cycle
+// cut-through per hop) is what the micro-architecture actually produces.
+//
+// Topology: N inputs of 4×4 chips, log4(N) stages, perfect-shuffle
+// wiring, destination-digit routing — identical to internal/omega, with
+// the header byte carrying the destination address. Chips run in MIN
+// mode (port-pair turnback allowed). The processor-interface port of
+// every chip is left unused.
+package chipnet
+
+import (
+	"fmt"
+
+	"damq/internal/comcobb"
+	"damq/internal/omega"
+)
+
+// Network is an Omega network of ComCoBB chips.
+type Network struct {
+	top     *omega.Topology
+	stages  [][]*comcobb.Chip
+	net     *comcobb.Network
+	drivers []*comcobb.Driver // one per network input
+	cycle   int64
+}
+
+// Config parameterizes the network.
+type Config struct {
+	// Inputs is the network width; must be a power of 4 (the chip is a
+	// 4×4 switch). Default 16.
+	Inputs int
+	// Slots per input buffer per chip. Default comcobb.DefaultSlots.
+	Slots int
+	// Trace enables per-chip event traces (expensive; keep networks
+	// small when tracing).
+	Trace bool
+}
+
+// New builds and wires the network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Inputs == 0 {
+		cfg.Inputs = 16
+	}
+	top, err := omega.New(4, cfg.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Inputs > 256 {
+		return nil, fmt.Errorf("chipnet: %d inputs exceeds the 8-bit header address space", cfg.Inputs)
+	}
+	n := &Network{top: top}
+	n.net = comcobb.NewNetwork()
+
+	// Instantiate chips.
+	for s := 0; s < top.Stages(); s++ {
+		var row []*comcobb.Chip
+		for i := 0; i < top.SwitchesPerStage(); i++ {
+			var tr *comcobb.Trace
+			if cfg.Trace {
+				tr = &comcobb.Trace{}
+			}
+			chip := comcobb.NewChip(comcobb.Config{Slots: cfg.Slots, Trace: tr, MINMode: true})
+			row = append(row, chip)
+			n.net.Add(chip)
+		}
+		n.stages = append(n.stages, row)
+	}
+
+	// Program routing tables: the header byte is the destination line
+	// number; stage s consumes digit s.
+	for s := 0; s < top.Stages(); s++ {
+		for _, chip := range n.stages[s] {
+			for in := 0; in < 4; in++ {
+				for dest := 0; dest < cfg.Inputs; dest++ {
+					route := comcobb.Route{
+						Out:       top.RouteDigit(dest, s),
+						NewHeader: byte(dest),
+					}
+					if err := chip.In(in).Router().Set(byte(dest), route); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Wire the stages with the perfect shuffle.
+	for s := 0; s+1 < top.Stages(); s++ {
+		for i, chip := range n.stages[s] {
+			for out := 0; out < 4; out++ {
+				nsw, nport := top.NextStage(i, out)
+				comcobb.Connect(chip, out, n.stages[s+1][nsw], nport)
+			}
+		}
+	}
+
+	// Drivers at the first stage (one per network input, pre-shuffled).
+	n.drivers = make([]*comcobb.Driver, cfg.Inputs)
+	for src := 0; src < cfg.Inputs; src++ {
+		sw, port := top.FirstStageSwitch(src)
+		n.drivers[src] = comcobb.NewDriver(n.stages[0][sw].InLink(port))
+	}
+	return n, nil
+}
+
+// Topology exposes the network's shape.
+func (n *Network) Topology() *omega.Topology { return n.top }
+
+// Chip returns the chip at (stage, index) for trace inspection.
+func (n *Network) Chip(stage, index int) *comcobb.Chip { return n.stages[stage][index] }
+
+// Send queues a packet at network input src addressed to network output
+// dest, with the given payload and an idle gap after it.
+func (n *Network) Send(src, dest int, data []byte, gap int) error {
+	if src < 0 || src >= len(n.drivers) {
+		return fmt.Errorf("chipnet: source %d out of range", src)
+	}
+	if dest < 0 || dest >= n.top.Inputs() {
+		return fmt.Errorf("chipnet: destination %d out of range", dest)
+	}
+	n.drivers[src].Queue(byte(dest), data, gap)
+	return nil
+}
+
+// Pending reports queued-but-untransmitted symbols across all drivers.
+func (n *Network) Pending() int {
+	total := 0
+	for _, d := range n.drivers {
+		total += d.Pending()
+	}
+	return total
+}
+
+// Tick advances the whole network one clock cycle.
+func (n *Network) Tick() {
+	for _, d := range n.drivers {
+		d.Tick()
+	}
+	n.net.Tick()
+	n.cycle++
+}
+
+// Run ticks for the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Tick()
+	}
+}
+
+// Cycle returns the elapsed clock cycles.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Delivered returns the packets that have arrived at network output dest.
+func (n *Network) Delivered(dest int) []comcobb.DecodedPacket {
+	sw, port := omega.SwitchPort(4, dest)
+	return n.stages[len(n.stages)-1][sw].Delivered(port)
+}
+
+// DeliveredCount totals deliveries across all outputs.
+func (n *Network) DeliveredCount() int {
+	total := 0
+	for d := 0; d < n.top.Inputs(); d++ {
+		total += len(n.Delivered(d))
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package comcobb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChipAccessors(t *testing.T) {
+	c := NewChip(Config{})
+	if c.Cycle() != 0 {
+		t.Fatal("fresh chip cycle != 0")
+	}
+	c.Tick()
+	if c.Cycle() != 1 {
+		t.Fatal("Tick did not advance cycle")
+	}
+	if c.OutLink(2) == nil || c.InLink(3) == nil {
+		t.Fatal("link accessors nil")
+	}
+	if c.Out(1).Busy() {
+		t.Fatal("fresh output busy")
+	}
+	if c.Trace() != nil {
+		t.Fatal("trace should be nil when not configured")
+	}
+}
+
+func TestNetworkRunAndAdd(t *testing.T) {
+	a := NewChip(Config{})
+	net := NewNetwork()
+	net.Add(a)
+	b := NewChip(Config{})
+	net.Add(b)
+	net.Run(7)
+	if a.Cycle() != 7 || b.Cycle() != 7 {
+		t.Fatalf("cycles = %d, %d", a.Cycle(), b.Cycle())
+	}
+}
+
+func TestDriverPending(t *testing.T) {
+	l := &Link{}
+	d := NewDriver(l)
+	if d.Pending() != 0 {
+		t.Fatal("fresh driver pending != 0")
+	}
+	d.Queue(0x01, []byte{1, 2}, 3)
+	// start + header + length + 2 data + 3 gap = 8 symbols.
+	if d.Pending() != 8 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	d.QueueCont(0x02, []byte{9}, 0)
+	// + start + header + 1 data = 3 symbols.
+	if d.Pending() != 11 {
+		t.Fatalf("pending after cont = %d", d.Pending())
+	}
+	for d.Pending() > 0 {
+		d.Tick()
+		l.sample()
+	}
+	d.Tick() // idle drive once drained
+	if s := l.sample(); s.start || s.valid {
+		t.Fatal("drained driver drove a symbol")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 4, Phase: 0, Unit: "out[1]", Msg: "start bit transmitted"}
+	s := e.String()
+	for _, want := range []string{"cycle", "4", "phase 0", "out[1]", "start bit"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTraceNilFind(t *testing.T) {
+	var tr *Trace
+	if _, ok := tr.Find("x", "y"); ok {
+		t.Fatal("nil trace found an event")
+	}
+	if tr.FindAll("x") != nil {
+		t.Fatal("nil trace returned events")
+	}
+	tr.add(0, 0, "x", "y") // must not panic
+}
+
+func TestSlotRAMReleasePanicsOnBadSlot(t *testing.T) {
+	r := newSlotRAM(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.release(99)
+}
+
+func TestReadBeforeWritePanics(t *testing.T) {
+	c := NewChip(Config{})
+	in := c.In(0)
+	p := &rxPacket{slots: []int{0}, length: 8, written: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read overtook write without panic")
+		}
+	}()
+	in.readByte(p, 5)
+}

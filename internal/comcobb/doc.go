@@ -1,0 +1,59 @@
+// Package comcobb is a clock-cycle/phase-accurate model of the ComCoBB
+// communication coprocessor's DAMQ buffer micro-architecture (Section 3 of
+// the paper): start-bit detection, a one-cycle synchronizer, a
+// virtual-circuit router, an 8-byte-slot buffer pool with an explicit free
+// list, per-destination packet queues, a 5×5 crossbar with a central
+// arbiter, and byte-serial output ports — one byte per 20 MHz clock cycle
+// per link.
+//
+// The model exists to reproduce Table 1: a packet arriving at an idle
+// switch whose destination queue is empty and output port idle is cut
+// through with a turn-around of exactly four clock cycles (start bit in at
+// cycle 0 → start bit out at cycle 4), regardless of packet length. It
+// also exercises everything the long-clock simulators abstract away:
+// variable-length packets (1-32 data bytes in 1-4 slots), multi-packet
+// messages over virtual circuits, per-slot storage reclamation, and
+// credit-based flow control between chips.
+//
+// # Timing model
+//
+// Each clock cycle has two phases. The reception pipeline follows the
+// paper's Table 1 exactly:
+//
+//	cycle 0        start bit on the wire; detector arms the synchronizer
+//	cycle 1        header byte enters the synchronizer
+//	cycle 2 ph0    synchronizer releases the header into the header register
+//	cycle 2 ph1    router resolves (output port, new header), links the
+//	               packet's first slot into the destination queue, and
+//	               requests crossbar arbitration
+//	cycle 3 ph0    length byte released, loaded into the router
+//	cycle 3 ph1    arbitration result latched; length latched into the
+//	               write counter and the slot's length register
+//	cycle 4 ph0    first data byte written to the buffer; on cut-through
+//	               the new header crosses the crossbar and the output port
+//	               drives the start bit
+//	cycle 4+i ph0  data byte i written
+//
+// The transmission pipeline, measured from the cycle g whose phase 1
+// latched the grant: start bit at g+1, new header byte at g+2, length
+// byte at g+3, data byte i at g+4+i. For the cut-through case g = 3, so
+// data byte i leaves at cycle 7+i, two cycles after it was written — the
+// read safely chases the write, which is how the chip forwards a packet it
+// has not finished receiving.
+//
+// # Simplifications (documented per DESIGN.md)
+//
+//   - Every packet carries a length byte. (In the chip only the first
+//     packet of a message does; continuation lengths come from the
+//     router's tables. The timing is identical.)
+//   - The processor interface is modeled as a fifth link-connected port
+//     pair rather than a parallel bus.
+//   - Inter-chip flow control is a direct free-slot probe of the
+//     downstream input buffer (standing in for the chip's flow-control
+//     wires): an output port does not start a packet unless the
+//     downstream buffer can hold all of it.
+//   - Electrical details (shift-register addressing, dual-ported cells)
+//     are represented by their architectural consequence: reads and
+//     writes of the slot RAM proceed independently, one byte per cycle
+//     each, with no port conflicts.
+package comcobb

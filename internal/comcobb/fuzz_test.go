@@ -1,0 +1,61 @@
+package comcobb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWire feeds arbitrary byte streams, reinterpreted as wire
+// symbol captures, to the decoder: it must never panic and never return
+// packets longer than its input could encode.
+func FuzzDecodeWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0x00, 0x20, 0x01, 0x02})
+	f.Add([]byte{0x80, 0x42, 0x00}) // zero length byte
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Reinterpret: byte with high bit set = start symbol, otherwise a
+		// data byte; 0xFE = idle gap.
+		var syms []wireSymbol
+		for _, b := range raw {
+			switch {
+			case b == 0xFE:
+				syms = append(syms, wireSymbol{})
+			case b >= 0x80:
+				syms = append(syms, wireSymbol{start: true})
+			default:
+				syms = append(syms, wireSymbol{valid: true, b: b})
+			}
+		}
+		pkts := DecodeWire(syms)
+		total := 0
+		for _, p := range pkts {
+			total += 3 + len(p.Data)
+		}
+		if total > len(syms)+MaxDataBytes {
+			t.Fatalf("decoded %d symbol-equivalents from %d symbols", total, len(syms))
+		}
+		// Continuation-aware decoding must not panic either.
+		_ = DecodeWireWith(syms, map[byte]int{0x01: 8, 0x02: 32})
+	})
+}
+
+// FuzzWireRoundTrip: encode-decode is the identity for every legal
+// (header, payload).
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(byte(0x01), []byte{1, 2, 3})
+	f.Add(byte(0xFF), bytes.Repeat([]byte{0xAA}, 32))
+	f.Fuzz(func(t *testing.T, header byte, data []byte) {
+		if len(data) == 0 || len(data) > MaxDataBytes {
+			return
+		}
+		pkts := DecodeWire(Wire(header, data))
+		if len(pkts) != 1 || pkts[0].Header != header || !bytes.Equal(pkts[0].Data, data) {
+			t.Fatalf("round trip failed: %+v", pkts)
+		}
+		cont := DecodeWireWith(WireCont(header, data), map[byte]int{header: len(data)})
+		if len(cont) != 1 || !bytes.Equal(cont[0].Data, data) {
+			t.Fatalf("continuation round trip failed: %+v", cont)
+		}
+	})
+}

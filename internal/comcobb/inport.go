@@ -1,0 +1,242 @@
+package comcobb
+
+import "fmt"
+
+// rxState is the receiver FSM state (the paper's "buffer manager" FSM).
+type rxState int
+
+const (
+	rxIdle   rxState = iota
+	rxHeader         // start bit seen; header byte inside the synchronizer
+	rxLength         // header latched; length byte inside the synchronizer
+	rxData           // streaming payload bytes into slots
+)
+
+// rxPacket is the bookkeeping for one packet resident in (or streaming
+// through) an input buffer. The chip keeps this state in the registers
+// associated with the packet's first slot; the model groups it in one
+// record holding the slot chain.
+type rxPacket struct {
+	slots     []int // slot indices in allocation order
+	dest      int   // output port (crossbar column)
+	newHeader byte
+	length    int  // payload bytes, from the length register
+	written   int  // payload bytes stored so far
+	noLenByte bool // continuation packet: no length byte on the wire
+
+	// Receive-pipeline staging: values seen at phase 0 that the FSMs
+	// latch at phase 1 (Table 1's two-phase discipline).
+	pendingHeader byte
+	pendingLength int
+	routed        bool
+	routedCycle   int64 // cycle whose phase 1 posted the crossbar request
+}
+
+// complete reports end-of-packet (the write counter's EOP signal).
+func (p *rxPacket) complete() bool { return p.written == p.length }
+
+// InPort models one input port: start-bit detector, synchronizer, router,
+// receiver FSM, slot RAM, and the five destination queues of the DAMQ
+// buffer (the queue for the port's own pair is never used).
+type InPort struct {
+	chip *Chip
+	id   int
+
+	ram    *slotRAM
+	router *Router
+	queues [NumPorts][]*rxPacket // FIFO per destination
+
+	state rxState
+	// sync models the one-cycle synchronizer: the symbol sampled from the
+	// wire this cycle is released to the FSM next cycle.
+	sync    wireSymbol
+	syncOld wireSymbol
+
+	cur *rxPacket // packet currently being received
+	// readBusy marks the buffer's single read port occupied by an output
+	// mid-transmission; the arbiter will not grant a second queue.
+	readBusy bool
+}
+
+func newInPort(chip *Chip, id, slots int, minMode bool) *InPort {
+	return &InPort{
+		chip:   chip,
+		id:     id,
+		ram:    newSlotRAM(slots),
+		router: newRouter(id, minMode),
+	}
+}
+
+// Router exposes the port's virtual-circuit table for configuration.
+func (in *InPort) Router() *Router { return in.router }
+
+// FreeSlots reports buffer space, the figure flow control exports.
+func (in *InPort) FreeSlots() int { return in.ram.free() }
+
+// QueueLen reports packets queued for output dest (including one still
+// being received).
+func (in *InPort) QueueLen(dest int) int { return len(in.queues[dest]) }
+
+// head returns the first packet queued for dest, or nil.
+func (in *InPort) head(dest int) *rxPacket {
+	if len(in.queues[dest]) == 0 {
+		return nil
+	}
+	return in.queues[dest][0]
+}
+
+// pop removes the head packet for dest (on transmission grant).
+func (in *InPort) pop(dest int) *rxPacket {
+	p := in.head(dest)
+	if p == nil {
+		panic(fmt.Sprintf("comcobb: pop from empty queue %d of input %d", dest, in.id))
+	}
+	in.queues[dest][0] = nil
+	in.queues[dest] = in.queues[dest][1:]
+	return p
+}
+
+// phase0 runs the input port's phase-0 work: shift the synchronizer, let
+// the FSM consume the byte it releases, then run the start-bit detector
+// on the raw wire. The FSM goes first so that a start bit arriving in the
+// same cycle the previous packet's last byte is released (back-to-back
+// packets) is seen with the receiver already idle, as in the chip, where
+// the detector and the FSM are separate hardware.
+func (in *InPort) phase0(link *Link) {
+	// The synchronizer releases last cycle's wire symbol this phase.
+	in.syncOld = in.sync
+	in.sync = link.sample()
+	sym := in.syncOld
+	t := in.chip.trace
+	cyc := in.chip.cycle
+
+	switch in.state {
+	case rxIdle, rxHeader:
+		if in.state == rxHeader && sym.valid {
+			// Header byte released by the synchronizer (cycle 2 phase 0).
+			in.cur = &rxPacket{}
+			in.cur.pendingHeader = sym.b
+			in.state = rxLength
+			t.add(cyc, 0, in.unit(), "header byte %#02x latched into header register", sym.b)
+		}
+	case rxLength:
+		if !sym.valid {
+			panic(fmt.Sprintf("comcobb: input %d missing length byte", in.id))
+		}
+		if int(sym.b) == 0 {
+			panic(fmt.Sprintf("comcobb: input %d received zero length byte", in.id))
+		}
+		// Length byte released (cycle 3 phase 0), loaded into the router;
+		// it is latched into the write counter at phase 1.
+		in.cur.pendingLength = int(sym.b)
+		t.add(cyc, 0, in.unit(), "length byte %d loaded into router", sym.b)
+	case rxData:
+		if !sym.valid {
+			panic(fmt.Sprintf("comcobb: input %d payload underrun (%d/%d bytes)",
+				in.id, in.cur.written, in.cur.length))
+		}
+		in.writeData(sym.b)
+	}
+
+	// Start-bit detection (cycle 0 of Table 1): the detector watches the
+	// raw wire, not the synchronizer output.
+	if in.sync.start {
+		if in.state != rxIdle {
+			panic(fmt.Sprintf("comcobb: input %d saw a start bit mid-packet", in.id))
+		}
+		in.state = rxHeader
+		t.add(cyc, 0, in.unit(), "start bit detected; synchronizer armed")
+	}
+}
+
+// writeData stores one payload byte, allocating a fresh slot at each
+// 8-byte boundary (the write shift register stepping to the next slot).
+func (in *InPort) writeData(b byte) {
+	p := in.cur
+	off := p.written % SlotBytes
+	if off == 0 && p.written > 0 {
+		// Chain a new slot: point the previous slot's register at it.
+		s := in.ram.alloc()
+		prev := p.slots[len(p.slots)-1]
+		in.ram.next[prev] = s
+		p.slots = append(p.slots, s)
+	}
+	slot := p.slots[len(p.slots)-1]
+	in.ram.write(slot, off, b)
+	p.written++
+	if p.complete() {
+		in.chip.trace.add(in.chip.cycle, 0, in.unit(), "EOP: %d bytes in %d slot(s)", p.length, len(p.slots))
+		in.cur = nil
+		in.state = rxIdle
+	}
+}
+
+// phase1 runs routing and length latching (cycles 2 and 3 phase 1 of
+// Table 1).
+func (in *InPort) phase1() {
+	if in.cur == nil || in.state != rxLength {
+		return
+	}
+	t := in.chip.trace
+	cyc := in.chip.cycle
+	p := in.cur
+	if !p.routed {
+		// Router resolves the circuit and the packet's first slot is
+		// linked into the destination queue; the arbiter learns of the
+		// request this phase.
+		route, err := in.router.Lookup(p.pendingHeader)
+		if err != nil {
+			panic(err)
+		}
+		p.dest = route.Out
+		p.newHeader = route.NewHeader
+		p.routed = true
+		p.routedCycle = cyc
+		first := in.ram.alloc()
+		p.slots = append(p.slots, first)
+		in.ram.header[first] = route.NewHeader
+		in.queues[p.dest] = append(in.queues[p.dest], p)
+		t.add(cyc, 1, in.unit(), "routed to output %d, new header %#02x; first slot %d enqueued",
+			p.dest, p.newHeader, first)
+		if route.ContLength > 0 {
+			// Continuation packet: the router supplies the length; the
+			// next wire byte is already payload.
+			p.length = route.ContLength
+			p.noLenByte = true
+			in.ram.length[first] = p.length
+			in.state = rxData
+			t.add(cyc, 1, in.unit(), "continuation circuit: length %d from router table", p.length)
+		}
+		return
+	}
+	if p.pendingLength > 0 && p.length == 0 {
+		// Length decoder output latched into the write counter and the
+		// first slot's length register.
+		if p.pendingLength > MaxDataBytes {
+			panic(fmt.Sprintf("comcobb: input %d length %d exceeds %d", in.id, p.pendingLength, MaxDataBytes))
+		}
+		p.length = p.pendingLength
+		in.ram.length[p.slots[0]] = p.length
+		in.state = rxData
+		t.add(cyc, 1, in.unit(), "length %d latched into write counter", p.length)
+	}
+}
+
+// releasePacketSlots returns a fully transmitted packet's slots to the
+// free list (the transmission manager FSM's cleanup).
+func (in *InPort) releasePacketSlots(p *rxPacket) {
+	for _, s := range p.slots {
+		in.ram.release(s)
+	}
+}
+
+// readByte fetches payload byte idx of p for the crossbar. The read must
+// chase, never pass, the write.
+func (in *InPort) readByte(p *rxPacket, idx int) byte {
+	if idx >= p.written {
+		panic(fmt.Sprintf("comcobb: read of byte %d before it was written (%d/%d)", idx, p.written, p.length))
+	}
+	return in.ram.read(p.slots[idx/SlotBytes], idx%SlotBytes)
+}
+
+func (in *InPort) unit() string { return fmt.Sprintf("in[%d]", in.id) }

@@ -1,0 +1,161 @@
+package comcobb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// msgChip builds a chip with a message circuit on input 0: header 0x01 is
+// the first-of-message packet (length byte on the wire), header 0x09 its
+// continuation circuit with a fixed 32-byte continuation length, both
+// toward output 1.
+func msgChip(t *testing.T) *Chip {
+	t.Helper()
+	c := NewChip(Config{Trace: &Trace{}})
+	if err := c.In(0).Router().Set(0x01, Route{Out: 1, NewHeader: 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.In(0).Router().Set(0x09, Route{Out: 1, NewHeader: 0x09, ContLength: 32}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// contSink is the receiver-side circuit knowledge for decoding.
+var contSink = map[byte]int{0x09: 32}
+
+func TestContinuationPacketIntegrity(t *testing.T) {
+	c := msgChip(t)
+	d := NewDriver(c.InLink(0))
+	// A three-packet message: first (with length byte), two continuations
+	// (no length byte).
+	first := payload(16)
+	cont1 := pattern32(0x40)
+	cont2 := pattern32(0x80)
+	d.Queue(0x01, first, 0)
+	d.QueueCont(0x09, cont1, 0)
+	d.QueueCont(0x09, cont2, 0)
+	for i := 0; i < 200; i++ {
+		d.Tick()
+		c.Tick()
+	}
+	got := c.DeliveredWith(1, contSink)
+	if len(got) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(got))
+	}
+	if !bytes.Equal(got[0].Data, first) || got[0].Header != 0x01 {
+		t.Fatalf("first packet wrong: %+v", got[0])
+	}
+	if !bytes.Equal(got[1].Data, cont1) || !bytes.Equal(got[2].Data, cont2) {
+		t.Fatal("continuation payload corrupted")
+	}
+	if got[1].Header != 0x09 {
+		t.Fatalf("continuation header = %#x", got[1].Header)
+	}
+	// Slot conservation after the message.
+	if c.In(0).FreeSlots() != DefaultSlots {
+		t.Fatalf("slots leaked: %d free", c.In(0).FreeSlots())
+	}
+}
+
+func TestContinuationCutThroughStillFourCycles(t *testing.T) {
+	c := msgChip(t)
+	d := NewDriver(c.InLink(0))
+	d.QueueCont(0x09, pattern32(0x10), 0)
+	for i := 0; i < 80; i++ {
+		d.Tick()
+		c.Tick()
+	}
+	in, ok1 := c.Trace().Find("in[0]", "start bit detected; synchronizer armed")
+	out, ok2 := c.Trace().Find("out[1]", "start bit transmitted")
+	if !ok1 || !ok2 {
+		t.Fatal("missing trace events")
+	}
+	if out.Cycle-in.Cycle != 4 {
+		t.Fatalf("continuation turn-around = %d, want 4", out.Cycle-in.Cycle)
+	}
+	// The router-supplied length must be visible in the trace.
+	if _, ok := c.Trace().Find("in[0]", "continuation circuit: length 32 from router table"); !ok {
+		t.Fatal("continuation routing event missing")
+	}
+	// And the outgoing wire must NOT contain a length symbol: the data
+	// starts one cycle earlier than for a length-carrying packet.
+	if _, ok := c.Trace().Find("out[1]", "length byte 32 transmitted; read counter loaded"); ok {
+		t.Fatal("continuation packet transmitted a length byte")
+	}
+}
+
+func TestContinuationWireOneCycleShorter(t *testing.T) {
+	// Same payload, with and without length byte: the continuation's last
+	// data byte leaves one cycle earlier.
+	lastByteCycle := func(cont bool) int64 {
+		c := msgChip(t)
+		d := NewDriver(c.InLink(0))
+		if cont {
+			d.QueueCont(0x09, pattern32(0), 0)
+		} else {
+			d.Queue(0x01, pattern32(0), 0)
+		}
+		for i := 0; i < 80; i++ {
+			d.Tick()
+			c.Tick()
+		}
+		e, ok := c.Trace().Find("out[1]", "last data byte transmitted (read counter 0)")
+		if !ok {
+			t.Fatal("no completion event")
+		}
+		return e.Cycle
+	}
+	withLen := lastByteCycle(false)
+	withoutLen := lastByteCycle(true)
+	if withoutLen != withLen-1 {
+		t.Fatalf("continuation finished at %d, length-carrying at %d (want exactly 1 cycle earlier)",
+			withoutLen, withLen)
+	}
+}
+
+func TestMultiHopMessage(t *testing.T) {
+	// A full message across two chips, continuations included.
+	a := msgChip(t)
+	b := NewChip(Config{Trace: &Trace{}})
+	if err := b.In(2).Router().Set(0x01, Route{Out: 3, NewHeader: 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.In(2).Router().Set(0x09, Route{Out: 3, NewHeader: 0x09, ContLength: 32}); err != nil {
+		t.Fatal(err)
+	}
+	Connect(a, 1, b, 2)
+	net := NewNetwork(a, b)
+	d := NewDriver(a.InLink(0))
+	d.Queue(0x01, payload(8), 0)
+	d.QueueCont(0x09, pattern32(0x20), 0)
+	for i := 0; i < 300; i++ {
+		d.Tick()
+		net.Tick()
+	}
+	got := b.DeliveredWith(3, contSink)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d packets at far chip, want 2", len(got))
+	}
+	if len(got[0].Data) != 8 || len(got[1].Data) != 32 {
+		t.Fatalf("sizes %d, %d", len(got[0].Data), len(got[1].Data))
+	}
+}
+
+func TestRouterRejectsBadContLength(t *testing.T) {
+	c := NewChip(Config{})
+	if err := c.In(0).Router().Set(0x01, Route{Out: 1, ContLength: 33}); err == nil {
+		t.Fatal("accepted oversized continuation length")
+	}
+	if err := c.In(0).Router().Set(0x01, Route{Out: 1, ContLength: -1}); err == nil {
+		t.Fatal("accepted negative continuation length")
+	}
+}
+
+func pattern32(base byte) []byte {
+	p := make([]byte, 32)
+	for i := range p {
+		p[i] = base + byte(i)
+	}
+	return p
+}

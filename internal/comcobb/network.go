@@ -1,0 +1,82 @@
+package comcobb
+
+// Network ticks a set of connected chips with correct wire settling
+// order: every chip drives its output wires, then every chip samples its
+// input wires, then every chip runs its phase-1 control logic. Because a
+// symbol driven at cycle t is sampled at cycle t and only released from
+// the synchronizer at t+1, the ordering among chips within a phase does
+// not matter.
+type Network struct {
+	chips []*Chip
+}
+
+// NewNetwork groups chips for lockstep ticking.
+func NewNetwork(chips ...*Chip) *Network {
+	return &Network{chips: chips}
+}
+
+// Add registers another chip.
+func (n *Network) Add(c *Chip) { n.chips = append(n.chips, c) }
+
+// Tick advances every chip one clock cycle.
+func (n *Network) Tick() {
+	for _, c := range n.chips {
+		c.phase0Out()
+	}
+	for _, c := range n.chips {
+		c.phase0In()
+	}
+	for _, c := range n.chips {
+		c.phase1()
+	}
+}
+
+// Run ticks the network for the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Tick()
+	}
+}
+
+// Driver feeds a scripted symbol sequence into one link, one symbol per
+// cycle, standing in for an upstream chip in testbenches and examples.
+type Driver struct {
+	link *Link
+	syms []wireSymbol
+	pos  int
+}
+
+// NewDriver attaches a driver to a link.
+func NewDriver(link *Link) *Driver { return &Driver{link: link} }
+
+// Queue appends a first-of-message packet's wire symbols (plus a trailing
+// idle gap of gap cycles) to the script.
+func (d *Driver) Queue(header byte, data []byte, gap int) {
+	d.syms = append(d.syms, Wire(header, data)...)
+	for i := 0; i < gap; i++ {
+		d.syms = append(d.syms, wireSymbol{})
+	}
+}
+
+// QueueCont appends a continuation packet (no length byte on the wire;
+// the receiving circuit's ContLength must equal len(data)).
+func (d *Driver) QueueCont(header byte, data []byte, gap int) {
+	d.syms = append(d.syms, WireCont(header, data)...)
+	for i := 0; i < gap; i++ {
+		d.syms = append(d.syms, wireSymbol{})
+	}
+}
+
+// Pending reports how many scripted symbols remain.
+func (d *Driver) Pending() int { return len(d.syms) - d.pos }
+
+// Tick drives the next scripted symbol (or idle) onto the link. Call it
+// before the network's Tick for the same cycle.
+func (d *Driver) Tick() {
+	if d.pos < len(d.syms) {
+		d.link.drive(d.syms[d.pos])
+		d.pos++
+		return
+	}
+	d.link.drive(wireSymbol{})
+}

@@ -1,0 +1,99 @@
+package comcobb
+
+import "fmt"
+
+// OutPort models one byte-serial output port plus its slice of the
+// crossbar: once the arbiter connects it to an input buffer's queue it
+// streams start bit, new header, length, and payload at one symbol per
+// cycle until the read counter expires.
+type OutPort struct {
+	chip *Chip
+	id   int
+	link *Link
+
+	active   bool
+	src      *InPort
+	pkt      *rxPacket
+	sent     int // symbols emitted: 0 start, 1 header, 2 length, 3+i data i
+	finished bool
+
+	// Hold, when set, keeps the arbiter from granting this port —
+	// modeling a link that is down or an output whose far end asserted
+	// back-pressure. Tests and failure-injection experiments use it.
+	Hold bool
+}
+
+func newOutPort(chip *Chip, id int, link *Link) *OutPort {
+	return &OutPort{chip: chip, id: id, link: link}
+}
+
+// Busy reports whether the port is mid-packet.
+func (out *OutPort) Busy() bool { return out.active }
+
+// grant connects this port to the head packet of src's queue for this
+// output (latched at phase 1; transmission starts next cycle).
+func (out *OutPort) grant(src *InPort) {
+	if out.active {
+		panic(fmt.Sprintf("comcobb: grant to busy output %d", out.id))
+	}
+	pkt := src.pop(out.id)
+	out.active = true
+	out.src = src
+	out.pkt = pkt
+	out.sent = 0
+	out.finished = false
+	src.readBusy = true
+	out.chip.trace.add(out.chip.cycle, 1, out.unit(),
+		"crossbar grant latched: input %d queue %d (len %d)", src.id, out.id, pkt.length)
+}
+
+// phase0 emits this cycle's symbol onto the wire.
+func (out *OutPort) phase0() {
+	if !out.active || out.finished {
+		return
+	}
+	t := out.chip.trace
+	cyc := out.chip.cycle
+	// Continuation packets carry no length byte downstream: their data
+	// starts one symbol earlier.
+	dataStart := 3
+	if out.pkt.noLenByte {
+		dataStart = 2
+	}
+	switch {
+	case out.sent == 0:
+		out.link.drive(wireSymbol{start: true})
+		t.add(cyc, 0, out.unit(), "start bit transmitted")
+	case out.sent == 1:
+		out.link.drive(wireSymbol{valid: true, b: out.pkt.newHeader})
+		t.add(cyc, 0, out.unit(), "header byte %#02x transmitted", out.pkt.newHeader)
+	case out.sent == 2 && !out.pkt.noLenByte:
+		out.link.drive(wireSymbol{valid: true, b: byte(out.pkt.length)})
+		t.add(cyc, 0, out.unit(), "length byte %d transmitted; read counter loaded", out.pkt.length)
+	default:
+		idx := out.sent - dataStart
+		b := out.src.readByte(out.pkt, idx)
+		out.link.drive(wireSymbol{valid: true, b: b})
+		if idx == out.pkt.length-1 {
+			out.finished = true
+			t.add(cyc, 0, out.unit(), "last data byte transmitted (read counter 0)")
+		}
+	}
+	out.sent++
+}
+
+// phase1 performs end-of-packet cleanup: the transmission manager FSM
+// returns the packet's slots to the free list and frees the read port and
+// the output for re-arbitration in this same phase.
+func (out *OutPort) phase1() {
+	if !out.active || !out.finished {
+		return
+	}
+	out.src.releasePacketSlots(out.pkt)
+	out.src.readBusy = false
+	out.active = false
+	out.src = nil
+	out.pkt = nil
+}
+
+func (out *OutPort) unit() string { return fmt.Sprintf("out[%d]", out.id) }

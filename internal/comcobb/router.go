@@ -1,0 +1,70 @@
+package comcobb
+
+import "fmt"
+
+// NumPorts is the chip's port count: four network ports plus the
+// processor interface, all joined by a 5×5 crossbar.
+const NumPorts = 5
+
+// ProcPort is the index of the processor-interface port.
+const ProcPort = 4
+
+// Route is one virtual-circuit table entry: a packet whose header byte is
+// the table key leaves through Out carrying NewHeader.
+//
+// ContLength implements the paper's message protocol: only the first
+// packet of a message carries a length byte; continuation packets take
+// their length from the router's table ("the router ... determines the
+// packet's output port and new header (and length, if this is not the
+// first packet in the message)"). A circuit with ContLength > 0 is a
+// continuation circuit: its packets carry no length byte on the wire and
+// are ContLength data bytes long. ContLength == 0 means the length byte
+// is on the wire (first-of-message packets, or single-packet messages).
+type Route struct {
+	Out        int
+	NewHeader  byte
+	ContLength int
+}
+
+// Router is the per-input-port routing unit. The ComCoBB routes with
+// virtual circuits: the header byte indexes a local table yielding the
+// output port and the header to present downstream (Section 3.2.1).
+type Router struct {
+	port          int // which input port this router serves
+	allowTurnback bool
+	table         map[byte]Route
+}
+
+func newRouter(port int, allowTurnback bool) *Router {
+	return &Router{port: port, allowTurnback: allowTurnback, table: make(map[byte]Route)}
+}
+
+// Set installs a circuit. In coprocessor mode the chip never routes a
+// packet straight back out the port pair it arrived on (Section 3.1), so
+// that is rejected; a chip built with Config.MINMode permits it, since in
+// a multistage network input port i and output port i connect different
+// neighbors ("an almost identical design can be used for DAMQ buffers in
+// a switch of a multistage interconnection network").
+func (r *Router) Set(header byte, route Route) error {
+	if route.Out < 0 || route.Out >= NumPorts {
+		return fmt.Errorf("comcobb: route to invalid port %d", route.Out)
+	}
+	if route.Out == r.port && r.port != ProcPort && !r.allowTurnback {
+		return fmt.Errorf("comcobb: input %d may not route header %#x back to its own pair", r.port, header)
+	}
+	if route.ContLength < 0 || route.ContLength > MaxDataBytes {
+		return fmt.Errorf("comcobb: continuation length %d out of 0..%d", route.ContLength, MaxDataBytes)
+	}
+	r.table[header] = route
+	return nil
+}
+
+// Lookup resolves a header byte. Unknown headers are a configuration
+// error surfaced to the caller.
+func (r *Router) Lookup(header byte) (Route, error) {
+	route, ok := r.table[header]
+	if !ok {
+		return Route{}, fmt.Errorf("comcobb: input %d has no circuit for header %#x", r.port, header)
+	}
+	return route, nil
+}

@@ -1,0 +1,99 @@
+package comcobb
+
+import "fmt"
+
+// SlotBytes is the slot size chosen in the paper (Section 3.2.3): small
+// enough to waste little storage on short packets, large enough that the
+// per-slot pointer/length/header registers and per-byte FSM work stay
+// cheap.
+const SlotBytes = 8
+
+// MaxDataBytes is the largest packet payload (32 bytes = 4 slots).
+const MaxDataBytes = 32
+
+// MaxSlotsPerPacket is the worst-case slot footprint of one packet.
+const MaxSlotsPerPacket = (MaxDataBytes + SlotBytes - 1) / SlotBytes
+
+// slotRAM models the input port's buffer pool: an array of 8-byte slots
+// with an explicit free list threaded through per-slot pointer registers,
+// plus the per-slot length and new-header registers the chip associates
+// with a packet's first slot. Reads and writes are independent (the chip's
+// dual-ported cells + separate read/write shift registers).
+type slotRAM struct {
+	data   [][SlotBytes]byte
+	next   []int // per-slot pointer register; -1 terminates a list
+	length []int // data-byte count, valid on a packet's first slot
+	header []byte
+
+	freeHead, freeTail int
+	freeCount          int
+}
+
+func newSlotRAM(slots int) *slotRAM {
+	r := &slotRAM{
+		data:   make([][SlotBytes]byte, slots),
+		next:   make([]int, slots),
+		length: make([]int, slots),
+		header: make([]byte, slots),
+	}
+	r.reset()
+	return r
+}
+
+func (r *slotRAM) reset() {
+	n := len(r.data)
+	for i := 0; i < n; i++ {
+		r.next[i] = i + 1
+	}
+	if n > 0 {
+		r.next[n-1] = -1
+		r.freeHead, r.freeTail = 0, n-1
+	} else {
+		r.freeHead, r.freeTail = -1, -1
+	}
+	r.freeCount = n
+}
+
+// free reports available slots, the quantity exported to flow control.
+func (r *slotRAM) free() int { return r.freeCount }
+
+// alloc removes the head of the free list. It panics when empty: credits
+// must prevent over-allocation, so exhaustion is a simulator bug.
+func (r *slotRAM) alloc() int {
+	if r.freeCount == 0 {
+		panic("comcobb: slot pool exhausted (flow control violated)")
+	}
+	s := r.freeHead
+	r.freeHead = r.next[s]
+	if r.freeHead == -1 {
+		r.freeTail = -1
+	}
+	r.next[s] = -1
+	r.freeCount--
+	return s
+}
+
+// release returns a slot to the tail of the free list.
+func (r *slotRAM) release(s int) {
+	if s < 0 || s >= len(r.data) {
+		panic(fmt.Sprintf("comcobb: release of invalid slot %d", s))
+	}
+	r.next[s] = -1
+	if r.freeTail == -1 {
+		r.freeHead = s
+	} else {
+		r.next[r.freeTail] = s
+	}
+	r.freeTail = s
+	r.freeCount++
+}
+
+// write stores one byte at (slot, offset).
+func (r *slotRAM) write(slot, offset int, b byte) {
+	r.data[slot][offset] = b
+}
+
+// read fetches one byte.
+func (r *slotRAM) read(slot, offset int) byte {
+	return r.data[slot][offset]
+}

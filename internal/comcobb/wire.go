@@ -1,0 +1,125 @@
+package comcobb
+
+// wireSymbol is what one link carries in one clock cycle: either nothing,
+// a start bit, or a data byte. The chip's links are 8 data wires plus
+// framing; the start bit occupies its own cycle before the header byte
+// (Section 3.2).
+type wireSymbol struct {
+	start bool
+	valid bool
+	b     byte
+}
+
+// Link is a unidirectional point-to-point connection delivering one
+// symbol per clock cycle with the paper's single-cycle synchronized
+// transmission. The producer writes during its phase-0 step; the consumer
+// samples during its own phase-0 step of the same cycle (the network
+// ticker orders producers before consumers).
+type Link struct {
+	cur wireSymbol
+	// downstream is the input port fed by this link, used by the
+	// producer's flow control to probe free buffer space; nil for sinks.
+	downstream *InPort
+	// sink collects delivered symbols when there is no downstream port
+	// (testbench memories / the local processor).
+	sink []wireSymbol
+}
+
+// drive places this cycle's symbol on the wire.
+func (l *Link) drive(s wireSymbol) { l.cur = s }
+
+// sample reads this cycle's symbol and clears the wire.
+func (l *Link) sample() wireSymbol {
+	s := l.cur
+	l.cur = wireSymbol{}
+	return s
+}
+
+// collect appends the current symbol to the sink (used by links that end
+// outside the modeled network).
+func (l *Link) collect() {
+	s := l.sample()
+	if s.start || s.valid {
+		l.sink = append(l.sink, s)
+	}
+}
+
+// Wire encodes a first-of-message packet as its on-wire symbol sequence:
+// start bit, header byte, length byte, then data. Tests and testbench
+// drivers use it.
+func Wire(header byte, data []byte) []wireSymbol {
+	if len(data) == 0 || len(data) > MaxDataBytes {
+		panic("comcobb: packet data must be 1..32 bytes")
+	}
+	syms := []wireSymbol{{start: true}}
+	syms = append(syms, wireSymbol{valid: true, b: header})
+	syms = append(syms, wireSymbol{valid: true, b: byte(len(data))})
+	for _, b := range data {
+		syms = append(syms, wireSymbol{valid: true, b: b})
+	}
+	return syms
+}
+
+// WireCont encodes a continuation packet: start bit, header byte, then
+// data with no length byte — the receiving router's circuit table must
+// carry ContLength == len(data).
+func WireCont(header byte, data []byte) []wireSymbol {
+	if len(data) == 0 || len(data) > MaxDataBytes {
+		panic("comcobb: packet data must be 1..32 bytes")
+	}
+	syms := []wireSymbol{{start: true}}
+	syms = append(syms, wireSymbol{valid: true, b: header})
+	for _, b := range data {
+		syms = append(syms, wireSymbol{valid: true, b: b})
+	}
+	return syms
+}
+
+// DecodeWire parses a sink's collected symbols back into packets,
+// returning (header, data) pairs. It is the inverse of Wire (all packets
+// carry length bytes) and tolerates idle gaps between packets.
+func DecodeWire(syms []wireSymbol) []DecodedPacket {
+	return DecodeWireWith(syms, nil)
+}
+
+// DecodeWireWith decodes a capture that may contain continuation packets.
+// contLength maps a header byte to that circuit's continuation length; a
+// header absent from the map (or a nil map) is decoded as length-carrying.
+// A real receiver knows this from its own circuit tables, exactly like a
+// switch's router does.
+func DecodeWireWith(syms []wireSymbol, contLength map[byte]int) []DecodedPacket {
+	var out []DecodedPacket
+	i := 0
+	for i < len(syms) {
+		if !syms[i].start {
+			i++
+			continue
+		}
+		if i+1 >= len(syms) {
+			break
+		}
+		hdr := syms[i+1].b
+		var n, dataAt int
+		if cl, ok := contLength[hdr]; ok && cl > 0 {
+			n, dataAt = cl, i+2
+		} else {
+			if i+2 >= len(syms) {
+				break
+			}
+			n, dataAt = int(syms[i+2].b), i+3
+		}
+		data := make([]byte, 0, n)
+		for j := 0; j < n && dataAt+j < len(syms); j++ {
+			data = append(data, syms[dataAt+j].b)
+		}
+		out = append(out, DecodedPacket{Header: hdr, Data: data})
+		i = dataAt + n
+	}
+	return out
+}
+
+// DecodedPacket is one packet recovered from a wire capture.
+type DecodedPacket struct {
+	Header byte
+	Data   []byte
+}

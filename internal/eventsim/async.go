@@ -1,0 +1,382 @@
+package eventsim
+
+import (
+	"fmt"
+
+	"damq/internal/buffer"
+	"damq/internal/omega"
+	"damq/internal/packet"
+	"damq/internal/rng"
+	"damq/internal/stats"
+)
+
+// Config parameterizes an asynchronous Omega-network simulation.
+type Config struct {
+	Radix      int // default 4
+	Inputs     int // default 64
+	BufferKind buffer.Kind
+	Capacity   int // slots per input buffer, default 4
+
+	// RouteDelay is the idle-path turn-around per switch in cycles
+	// (Table 1: 4). Overhead is the per-packet framing on a link in
+	// cycles (start bit + header + length: 3).
+	RouteDelay int64
+	Overhead   int64
+
+	// MinBytes/MaxBytes bound the uniform payload-size distribution
+	// (default 8..8, one slot). Slots per packet = ceil(bytes/8).
+	MinBytes, MaxBytes int
+
+	// Load is the offered load as a fraction of link capacity: each
+	// source's long-run transmitted-cycles fraction. Sources are
+	// renewal processes with geometric interarrivals.
+	Load float64
+
+	// HotFraction re-addresses that fraction of packets to HotDest
+	// (0 = uniform destinations), mirroring netsim's hot-spot pattern.
+	HotFraction float64
+	HotDest     int
+
+	// Warmup and Measure are simulation spans in cycles.
+	Warmup  int64
+	Measure int64
+	Seed    uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Radix == 0 {
+		c.Radix = 4
+	}
+	if c.Inputs == 0 {
+		c.Inputs = 64
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 4
+	}
+	if c.RouteDelay == 0 {
+		c.RouteDelay = 4
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 3
+	}
+	if c.MinBytes == 0 {
+		c.MinBytes = 8
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = c.MinBytes
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20_000
+	}
+	if c.Measure == 0 {
+		c.Measure = 100_000
+	}
+	return c
+}
+
+// Result aggregates an asynchronous run.
+type Result struct {
+	Config    Config
+	Generated int64
+	Delivered int64 // deliveries inside the measurement window
+	// Latency is generation -> tail-at-sink, in cycles, for packets born
+	// inside the window.
+	Latency stats.Summary
+	// LinkUtilization is delivered payload+overhead cycles per sink per
+	// measured cycle — the async analogue of delivered throughput.
+	LinkUtilization float64
+}
+
+// Sim is one asynchronous network instance.
+type Sim struct {
+	cfg Config
+	top *omega.Topology
+	eng Engine
+
+	// Per stage, per switch, per port state.
+	bufs         [][][]buffer.Buffer // [stage][switch][input]
+	outBusyUntil [][][]int64         // [stage][switch][output]
+	readCount    [][][]int           // concurrent reads per input buffer
+	transmitting [][]map[[2]int]bool // per switch: (in,out) pairs mid-transmission
+	rr           [][]int             // per-switch rotating fairness offset
+
+	srcQ         [][]*packet.Packet
+	srcBusyUntil []int64
+
+	gens  []*rng.Source // per-source generation streams
+	sizes *rng.Source
+	alloc packet.Alloc
+
+	measureStart, measureEnd int64
+	res                      *Result
+	busyCycles               int64 // link cycles delivered at sinks in window
+}
+
+// New validates and builds the simulation.
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	top, err := omega.New(cfg.Radix, cfg.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("eventsim: load %v out of [0,1]", cfg.Load)
+	}
+	if cfg.MinBytes < 1 || cfg.MaxBytes < cfg.MinBytes || cfg.MaxBytes > 32 {
+		return nil, fmt.Errorf("eventsim: payload bounds %d..%d invalid", cfg.MinBytes, cfg.MaxBytes)
+	}
+	if cfg.HotFraction < 0 || cfg.HotFraction > 1 {
+		return nil, fmt.Errorf("eventsim: hot fraction %v out of [0,1]", cfg.HotFraction)
+	}
+	if cfg.HotFraction > 0 && (cfg.HotDest < 0 || cfg.HotDest >= cfg.Inputs) {
+		return nil, fmt.Errorf("eventsim: hot destination %d out of range", cfg.HotDest)
+	}
+	s := &Sim{cfg: cfg, top: top}
+	master := rng.New(cfg.Seed)
+	s.sizes = master.Split()
+	for i := 0; i < cfg.Inputs; i++ {
+		s.gens = append(s.gens, master.Split())
+	}
+
+	for st := 0; st < top.Stages(); st++ {
+		var bufRow [][]buffer.Buffer
+		var busyRow [][]int64
+		var readRow [][]int
+		var txRow []map[[2]int]bool
+		for sw := 0; sw < top.SwitchesPerStage(); sw++ {
+			var bs []buffer.Buffer
+			for in := 0; in < cfg.Radix; in++ {
+				b, err := buffer.New(buffer.Config{
+					Kind:       cfg.BufferKind,
+					NumOutputs: cfg.Radix,
+					Capacity:   cfg.Capacity,
+				})
+				if err != nil {
+					return nil, err
+				}
+				bs = append(bs, b)
+			}
+			bufRow = append(bufRow, bs)
+			busyRow = append(busyRow, make([]int64, cfg.Radix))
+			readRow = append(readRow, make([]int, cfg.Radix))
+			txRow = append(txRow, make(map[[2]int]bool))
+		}
+		s.bufs = append(s.bufs, bufRow)
+		s.outBusyUntil = append(s.outBusyUntil, busyRow)
+		s.readCount = append(s.readCount, readRow)
+		s.transmitting = append(s.transmitting, txRow)
+		s.rr = append(s.rr, make([]int, top.SwitchesPerStage()))
+	}
+	s.srcQ = make([][]*packet.Packet, cfg.Inputs)
+	s.srcBusyUntil = make([]int64, cfg.Inputs)
+	return s, nil
+}
+
+// duration is a packet's link occupancy in cycles.
+func (s *Sim) duration(p *packet.Packet) int64 {
+	return s.cfg.Overhead + int64(p.Bytes)
+}
+
+// meanDuration is the expected link occupancy of one packet.
+func (s *Sim) meanDuration() float64 {
+	return float64(s.cfg.Overhead) + float64(s.cfg.MinBytes+s.cfg.MaxBytes)/2
+}
+
+// scheduleGeneration plants source src's next packet birth.
+func (s *Sim) scheduleGeneration(src int) {
+	if s.cfg.Load <= 0 {
+		return
+	}
+	p := s.cfg.Load / s.meanDuration()
+	gap := int64(s.gens[src].Geometric(p))
+	s.eng.After(gap, func() { s.generate(src) })
+}
+
+// generate births one packet at source src and rearms the process.
+func (s *Sim) generate(src int) {
+	nbytes := s.sizes.IntnRange(s.cfg.MinBytes, s.cfg.MaxBytes)
+	var dest int
+	if s.cfg.HotFraction > 0 && s.gens[src].Bool(s.cfg.HotFraction) {
+		dest = s.cfg.HotDest
+	} else {
+		dest = s.gens[src].Intn(s.cfg.Inputs)
+	}
+	p := s.alloc.New(src, dest, (nbytes+7)/8, s.eng.Now())
+	p.Bytes = nbytes
+	if s.res != nil && s.eng.Now() >= s.measureStart && s.eng.Now() < s.measureEnd {
+		s.res.Generated++
+	}
+	s.srcQ[src] = append(s.srcQ[src], p)
+	s.kickSource(src)
+	s.scheduleGeneration(src)
+}
+
+// kickSource tries to begin injecting source src's head packet.
+func (s *Sim) kickSource(src int) {
+	now := s.eng.Now()
+	if len(s.srcQ[src]) == 0 || s.srcBusyUntil[src] > now {
+		return
+	}
+	p := s.srcQ[src][0]
+	swIdx, port := s.top.FirstStageSwitch(src)
+	probe := *p
+	probe.OutPort = s.top.RouteDigit(p.Dest, 0)
+	if !s.bufs[0][swIdx][port].CanAccept(&probe) {
+		return // retried when the stage-0 buffer frees slots
+	}
+	s.srcQ[src][0] = nil
+	s.srcQ[src] = s.srcQ[src][1:]
+	dur := s.duration(p)
+	s.srcBusyUntil[src] = now + dur
+	p.OutPort = probe.OutPort
+	p.ReadyAt = now + s.cfg.RouteDelay
+	p.Injected = now
+	if err := s.bufs[0][swIdx][port].Accept(p); err != nil {
+		panic(err)
+	}
+	s.eng.At(p.ReadyAt, func() { s.kickSwitch(0, swIdx) })
+	s.eng.At(now+dur, func() { s.kickSource(src) })
+}
+
+// kickSwitch runs the grant loop of one switch: every idle output picks
+// the longest ready, unblocked queue among buffers with read capacity.
+// A rotating offset breaks queue-length ties fairly across inputs.
+func (s *Sim) kickSwitch(st, sw int) {
+	now := s.eng.Now()
+	s.rr[st][sw]++
+	for out := 0; out < s.cfg.Radix; out++ {
+		if s.outBusyUntil[st][sw][out] > now {
+			continue
+		}
+		bestIn := -1
+		bestLen := 0
+		for k := 0; k < s.cfg.Radix; k++ {
+			in := (k + s.rr[st][sw]) % s.cfg.Radix
+			b := s.bufs[st][sw][in]
+			if s.readCount[st][sw][in] >= b.MaxReadsPerCycle() {
+				continue
+			}
+			if s.transmitting[st][sw][[2]int{in, out}] {
+				continue
+			}
+			p := b.Head(out)
+			if p == nil || p.ReadyAt > now {
+				continue
+			}
+			if !s.downstreamAccepts(st, sw, out, p) {
+				continue
+			}
+			if l := b.QueueLen(out); bestIn == -1 || l > bestLen {
+				bestIn, bestLen = in, l
+			}
+		}
+		if bestIn >= 0 {
+			s.startTx(st, sw, bestIn, out)
+		}
+	}
+}
+
+// downstreamAccepts probes the next hop's buffer (blocking flow control).
+func (s *Sim) downstreamAccepts(st, sw, out int, p *packet.Packet) bool {
+	if st == s.top.Stages()-1 {
+		return true // sinks always accept
+	}
+	nsw, nport := s.top.NextStage(sw, out)
+	probe := *p
+	probe.OutPort = s.top.RouteDigit(p.Dest, st+1)
+	return s.bufs[st+1][nsw][nport].CanAccept(&probe)
+}
+
+// startTx begins forwarding the head of (st, sw, in)'s queue for out.
+func (s *Sim) startTx(st, sw, in, out int) {
+	now := s.eng.Now()
+	b := s.bufs[st][sw][in]
+	p := b.Head(out)
+	dur := s.duration(p)
+	s.outBusyUntil[st][sw][out] = now + dur
+	s.readCount[st][sw][in]++
+	s.transmitting[st][sw][[2]int{in, out}] = true
+
+	last := st == s.top.Stages()-1
+	if last {
+		s.eng.At(now+dur, func() { s.deliver(p) })
+	} else {
+		// Reserve the downstream footprint now; the head becomes
+		// routable there after RouteDelay (cut-through: the downstream
+		// read chases this write). The downstream gets its own copy of
+		// the packet record: the original must stay unmodified in this
+		// switch's queue until the tail finishes leaving (completeTx),
+		// mirroring the bytes existing in both buffers at once.
+		nsw, nport := s.top.NextStage(sw, out)
+		np := *p
+		np.OutPort = s.top.RouteDigit(p.Dest, st+1)
+		np.ReadyAt = now + s.cfg.RouteDelay
+		if err := s.bufs[st+1][nsw][nport].Accept(&np); err != nil {
+			panic(fmt.Sprintf("eventsim: downstream accept after probe: %v", err))
+		}
+		s.eng.At(np.ReadyAt, func() { s.kickSwitch(st+1, nsw) })
+	}
+
+	s.eng.At(now+dur, func() { s.completeTx(st, sw, in, out) })
+}
+
+// completeTx finishes a transmission: the packet's slots leave this
+// switch, the read port frees, and whoever was waiting gets another look.
+func (s *Sim) completeTx(st, sw, in, out int) {
+	b := s.bufs[st][sw][in]
+	if b.Pop(out) == nil {
+		panic("eventsim: completion found empty queue")
+	}
+	s.readCount[st][sw][in]--
+	delete(s.transmitting[st][sw], [2]int{in, out})
+	s.kickSwitch(st, sw)
+	// Freed slots unblock the upstream sender of this input port.
+	line := omega.Line(s.cfg.Radix, sw, in)
+	upLine := s.top.InverseShuffle(line)
+	if st == 0 {
+		s.kickSource(upLine)
+	} else {
+		usw, _ := omega.SwitchPort(s.cfg.Radix, upLine)
+		s.kickSwitch(st-1, usw)
+	}
+}
+
+// deliver records a packet's tail reaching its memory module.
+func (s *Sim) deliver(p *packet.Packet) {
+	now := s.eng.Now()
+	if s.res == nil || now < s.measureStart || now >= s.measureEnd {
+		return
+	}
+	s.res.Delivered++
+	s.busyCycles += s.duration(p)
+	if p.Born >= s.measureStart {
+		s.res.Latency.Add(float64(now - p.Born))
+	}
+}
+
+// InFlight counts buffered packets (diagnostics and conservation tests).
+func (s *Sim) InFlight() int {
+	n := 0
+	for _, stage := range s.bufs {
+		for _, sw := range stage {
+			for _, b := range sw {
+				n += b.Len()
+			}
+		}
+	}
+	return n
+}
+
+// Run executes warmup + measurement and returns the results.
+func (s *Sim) Run() *Result {
+	for src := 0; src < s.cfg.Inputs; src++ {
+		s.scheduleGeneration(src)
+	}
+	s.measureStart = s.cfg.Warmup
+	s.measureEnd = s.cfg.Warmup + s.cfg.Measure
+	s.res = &Result{Config: s.cfg}
+	s.eng.RunUntil(s.measureEnd)
+	s.res.LinkUtilization = float64(s.busyCycles) /
+		(float64(s.cfg.Inputs) * float64(s.cfg.Measure))
+	return s.res
+}

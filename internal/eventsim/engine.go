@@ -1,0 +1,87 @@
+// Package eventsim is a discrete-event simulator for *asynchronous*
+// multistage networks with virtual cut-through and variable-length
+// packets — the regime the paper's conclusion points at ("variable length
+// packets which arrive at the inputs of the switch asynchronously") and
+// that the synchronized long-clock model of package netsim cannot
+// express. The original authors used Fujimoto's SIMON event-driven
+// simulator; this package is our stdlib-only equivalent.
+//
+// Time is an integer count of link clock cycles (one byte per cycle on a
+// link, as on the ComCoBB's 20 MHz byte-serial links). A packet of L
+// payload bytes occupies a link for Overhead+L cycles (start bit, header,
+// length, payload); a switch turns a packet around in RouteDelay cycles
+// when the path is idle (Table 1's four-cycle cut-through), so the
+// contention-free network latency of an h-hop path is
+// h·RouteDelay + Overhead + L — latency essentially independent of length
+// except for the final drain, which is exactly the virtual cut-through
+// property of Kermani & Kleinrock.
+package eventsim
+
+import "container/heap"
+
+// Engine is a deterministic discrete-event executor.
+type Engine struct {
+	pq  eventQueue
+	seq uint64
+	now int64
+}
+
+type event struct {
+	at  int64
+	seq uint64 // tie-break: FIFO among same-time events, for determinism
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at time t (>= Now). Events at equal times run in
+// scheduling order.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic("eventsim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
+
+// RunUntil executes events until the queue is empty or the next event is
+// later than limit. It returns the number of events executed.
+func (e *Engine) RunUntil(limit int64) int {
+	n := 0
+	for len(e.pq) > 0 && e.pq[0].at <= limit {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return n
+}
+
+// Pending reports queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

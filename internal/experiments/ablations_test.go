@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+func TestAblationConnectivity(t *testing.T) {
+	rows, err := AblationConnectivity(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(kind buffer.Kind) ConnectivityRow {
+		for _, r := range rows {
+			if r.Kind == kind {
+				return r
+			}
+		}
+		t.Fatalf("missing %v", kind)
+		return ConnectivityRow{}
+	}
+	damq, dafc := get(buffer.DAMQ), get(buffer.DAFC)
+	samq, safc := get(buffer.SAMQ), get(buffer.SAFC)
+	// The headline of this ablation: connectivity barely moves the needle
+	// once allocation is dynamic. (The sign can go either way — the wider
+	// action set changes what longest-queue arbitration picks — but the
+	// gap must be small relative to the allocation gap below.)
+	gap := abs(dafc.PDiscard - damq.PDiscard)
+	if gap > 0.3*damq.PDiscard {
+		t.Errorf("DAFC-DAMQ gap %v too large relative to DAMQ %v", gap, damq.PDiscard)
+	}
+	// The paper's structural claim: the connectivity gap under dynamic
+	// allocation is smaller than the allocation gap itself — DAMQ alone
+	// already beats fully connected static allocation.
+	if damq.PDiscard >= safc.PDiscard {
+		t.Errorf("DAMQ %v !< SAFC %v", damq.PDiscard, safc.PDiscard)
+	}
+	if samq.PDiscard < safc.PDiscard-1e-9 {
+		t.Errorf("SAMQ beat SAFC in exact analysis: %v vs %v", samq.PDiscard, safc.PDiscard)
+	}
+	out := RenderConnectivity(rows)
+	if !strings.Contains(out, "DAFC") {
+		t.Error("render missing DAFC")
+	}
+}
+
+func TestAblationArbitration(t *testing.T) {
+	rows, err := AblationArbitration(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Table 3's observation: the policies are close (within 15%).
+		if rel := abs(r.SmartSatThr-r.DumbSatThr) / r.SmartSatThr; rel > 0.15 {
+			t.Errorf("%v: smart %v vs dumb %v differ by %.0f%%",
+				r.Kind, r.SmartSatThr, r.DumbSatThr, rel*100)
+		}
+	}
+	if !strings.Contains(RenderArbitration(rows), "smart") {
+		t.Error("render missing content")
+	}
+}
+
+func TestAblationSolver(t *testing.T) {
+	rows, err := AblationSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxDiff > 1e-6 {
+			t.Errorf("%s: solvers disagree by %v", r.Name, r.MaxDiff)
+		}
+		if r.MixingTime <= 0 || r.MixingTime > 500 {
+			t.Errorf("%s: implausible mixing time %d", r.Name, r.MixingTime)
+		}
+		if r.States <= 0 {
+			t.Errorf("%s: no states", r.Name)
+		}
+	}
+	if !strings.Contains(RenderSolver(rows), "gauss-seidel") {
+		t.Error("render missing content")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+func TestAsyncExperiment(t *testing.T) {
+	rows, err := Async(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var fifo, damq AsyncRow
+	for _, r := range rows {
+		switch r.Kind {
+		case buffer.FIFO:
+			fifo = r
+		case buffer.DAMQ:
+			damq = r
+		}
+	}
+	if damq.FixedSatUtl <= fifo.FixedSatUtl {
+		t.Errorf("async fixed: DAMQ %v !> FIFO %v", damq.FixedSatUtl, fifo.FixedSatUtl)
+	}
+	if damq.VarSatUtl <= fifo.VarSatUtl {
+		t.Errorf("async varlen: DAMQ %v !> FIFO %v", damq.VarSatUtl, fifo.VarSatUtl)
+	}
+	if !strings.Contains(RenderAsync(rows), "asynchronous") {
+		t.Error("render missing content")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+func TestAblationBurstiness(t *testing.T) {
+	rows, err := AblationBurstiness(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var damq, fifo BurstRow
+	for _, r := range rows {
+		switch r.Kind {
+		case buffer.DAMQ:
+			damq = r
+		case buffer.FIFO:
+			fifo = r
+		}
+		// Bursty traffic can only hurt (or match) each design.
+		if r.BurstSat > r.UniformSat+0.03 {
+			t.Errorf("%v: bursty saturation %v above uniform %v", r.Kind, r.BurstSat, r.UniformSat)
+		}
+	}
+	// DAMQ must retain its lead under bursty traffic.
+	if damq.BurstSat <= fifo.BurstSat {
+		t.Errorf("bursty: DAMQ %v !> FIFO %v", damq.BurstSat, fifo.BurstSat)
+	}
+	if !strings.Contains(RenderBurstiness(rows), "messages") {
+		t.Error("render missing content")
+	}
+}

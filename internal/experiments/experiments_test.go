@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+	"damq/internal/stats"
+)
+
+// tiny is an even cheaper scale than Quick for unit tests.
+var tiny = Scale{Warmup: 200, Measure: 1500, Seed: 3}
+
+func TestTable2SubsetMatchesPaperShape(t *testing.T) {
+	// Solve a cheap subset and verify the orderings the paper highlights.
+	res, err := Table2([]float64{0.75, 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(kind buffer.Kind, slots int, loadIdx int) float64 {
+		for _, row := range res.Rows {
+			if row.Kind == kind && row.Slots == slots {
+				return row.PDiscard[loadIdx]
+			}
+		}
+		t.Fatalf("row %v/%d missing", kind, slots)
+		return 0
+	}
+	if !(get(buffer.DAMQ, 4, 1) < get(buffer.SAFC, 4, 1)) {
+		t.Error("DAMQ !< SAFC at 90%")
+	}
+	if !(get(buffer.DAMQ, 3, 1) <= get(buffer.FIFO, 6, 1)) {
+		t.Error("DAMQ(3) worse than FIFO(6) at 90%")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "DAMQ") || !strings.Contains(out, "Table 2") {
+		t.Error("render missing content")
+	}
+}
+
+func TestTable2Specs(t *testing.T) {
+	specs := Table2Specs()
+	if len(specs) != 16 {
+		t.Fatalf("expected 16 specs, got %d", len(specs))
+	}
+	for _, s := range specs {
+		if (s.Kind == buffer.SAMQ || s.Kind == buffer.SAFC) && s.Slots%2 != 0 {
+			t.Fatalf("static design with odd slots in specs: %+v", s)
+		}
+	}
+}
+
+func TestTable3RunsAndOrdersDAMQFirst(t *testing.T) {
+	res, err := Table3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	var damq, fifo Table3Cell
+	for _, c := range res.Cells {
+		switch c.Kind {
+		case buffer.DAMQ:
+			damq = c
+		case buffer.FIFO:
+			fifo = c
+		}
+	}
+	if damq.Smart50 >= fifo.Smart50 {
+		t.Errorf("DAMQ %.2f%% !< FIFO %.2f%% at 0.50", damq.Smart50, fifo.Smart50)
+	}
+	if damq.OverThr <= fifo.OverThr {
+		t.Errorf("DAMQ over-capacity throughput %.2f !> FIFO %.2f", damq.OverThr, fifo.OverThr)
+	}
+	if !strings.Contains(res.Render(), "Table 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	thr := map[buffer.Kind]float64{}
+	for _, r := range rows {
+		thr[r.Kind] = r.SatThr
+		if len(r.Latency) != 4 {
+			t.Fatalf("latency cells = %d", len(r.Latency))
+		}
+	}
+	if thr[buffer.DAMQ] <= thr[buffer.FIFO] {
+		t.Errorf("DAMQ sat thr %.2f !> FIFO %.2f", thr[buffer.DAMQ], thr[buffer.FIFO])
+	}
+	out := RenderLatencyRows("Table 4", rows)
+	if !strings.Contains(out, "sat thr") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable5SkipsInvalidStaticSizes(t *testing.T) {
+	rows, err := LatencyTable([]buffer.Kind{buffer.SAMQ}, []int{3, 4}, []float64{0.25}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SAMQ with 3 slots is not constructible on a 4x4 switch; only the
+	// 4-slot row should appear.
+	if len(rows) != 1 || rows[0].Slots != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestTable6Equalizes(t *testing.T) {
+	rows, err := Table6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SatThr < 0.20 || r.SatThr > 0.30 {
+			t.Errorf("%v: hot-spot sat thr %.3f outside [0.20, 0.30]", r.Kind, r.SatThr)
+		}
+	}
+	if !strings.Contains(RenderTable6(rows), "hot-spot") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3SeriesShape(t *testing.T) {
+	series, err := Figure3([]buffer.Kind{buffer.FIFO, buffer.DAMQ}, 4,
+		[]float64{0.2, 0.5, 0.8}, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	var fifoSat, damqSat float64
+	for _, s := range series {
+		if strings.HasPrefix(s.Name, "FIFO") {
+			fifoSat = s.SaturationThroughput()
+		} else {
+			damqSat = s.SaturationThroughput()
+		}
+		if len(s.Points) != 3 {
+			t.Fatalf("points = %d", len(s.Points))
+		}
+		// Latency must be non-decreasing along the sweep.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Latency < s.Points[i-1].Latency-1 {
+				t.Errorf("%s: latency decreased along load sweep", s.Name)
+			}
+		}
+	}
+	if damqSat <= fifoSat {
+		t.Errorf("DAMQ saturation %.2f !> FIFO %.2f", damqSat, fifoSat)
+	}
+	out := RenderFigure3(series)
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "latency") {
+		t.Error("render missing content")
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := stats.Series{Name: "x"}
+	s.Add(stats.Point{Offered: 0.2, Throughput: 0.2, Latency: 40})
+	s.Add(stats.Point{Offered: 0.8, Throughput: 0.5, Latency: 400})
+	out := AsciiPlot([]stats.Series{s}, 40, 10, 300)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "a=x") {
+		t.Fatalf("plot missing marks:\n%s", out)
+	}
+	if AsciiPlot(nil, 2, 2, 100) != "" {
+		t.Error("degenerate plot should be empty")
+	}
+}
+
+func TestVarLenDAMQAdvantage(t *testing.T) {
+	rows, err := VarLen(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var damq, fifo VarLenRow
+	for _, r := range rows {
+		switch r.Kind {
+		case buffer.DAMQ:
+			damq = r
+		case buffer.FIFO:
+			fifo = r
+		}
+	}
+	if damq.VarThr <= fifo.VarThr {
+		t.Errorf("varlen: DAMQ %.3f !> FIFO %.3f", damq.VarThr, fifo.VarThr)
+	}
+	if !strings.Contains(RenderVarLen(rows), "variable") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable1FourCycles(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Lengths {
+		if res.TurnAround[i] != 4 {
+			t.Errorf("n=%d: turn-around %d, want 4", n, res.TurnAround[i])
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "cut-through") || !strings.Contains(out, "cycle") {
+		t.Error("render missing content")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/netsim"
+	"damq/internal/sw"
+)
+
+// Grid describes a custom parameter sweep over the network simulator —
+// the "run your own experiment" surface a downstream user of this
+// repository needs when their question is not one of the paper's tables.
+type Grid struct {
+	Kinds      []buffer.Kind
+	Loads      []float64
+	Capacities []int
+	Protocol   sw.Protocol
+	Policy     arbiter.Policy
+	Traffic    netsim.TrafficKind
+	// HotFraction/HotDest apply when Traffic == netsim.HotSpot;
+	// MeanBurst when Traffic == netsim.Bursty.
+	HotFraction float64
+	HotDest     int
+	MeanBurst   float64
+}
+
+// GridPoint is one completed cell of the sweep.
+type GridPoint struct {
+	Kind       buffer.Kind `json:"kind"`
+	Capacity   int         `json:"capacity"`
+	Load       float64     `json:"load"`
+	Throughput float64     `json:"throughput"`
+	Latency    float64     `json:"latency"`
+	LatencyP99 float64     `json:"latency_p99"`
+	Discarded  float64     `json:"discard_fraction"`
+	Backlog    float64     `json:"source_backlog"`
+}
+
+// Run executes every (kind, capacity, load) combination. Invalid
+// combinations (static buffers whose capacity is not divisible by the
+// radix) are skipped rather than failing the sweep.
+func (g Grid) Run(sc Scale) ([]GridPoint, error) {
+	var out []GridPoint
+	for _, kind := range g.Kinds {
+		for _, cap := range g.Capacities {
+			if (kind == buffer.SAMQ || kind == buffer.SAFC) && cap%4 != 0 {
+				continue
+			}
+			for _, load := range g.Loads {
+				spec := netsim.TrafficSpec{
+					Kind:        g.Traffic,
+					Load:        load,
+					HotFraction: g.HotFraction,
+					HotDest:     g.HotDest,
+					MeanBurst:   g.MeanBurst,
+				}
+				r, err := netRun(kind, g.Protocol, g.Policy, cap, spec, sc)
+				if err != nil {
+					return nil, fmt.Errorf("grid %v/%d@%v: %w", kind, cap, load, err)
+				}
+				out = append(out, GridPoint{
+					Kind:       kind,
+					Capacity:   cap,
+					Load:       load,
+					Throughput: r.Throughput(),
+					Latency:    r.LatencyFromBorn.Mean(),
+					LatencyP99: r.LatencyP(0.99),
+					Discarded:  r.DiscardFraction(),
+					Backlog:    r.SourceBacklog.Mean(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV emits the sweep results with a header row.
+func WriteCSV(w io.Writer, points []GridPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kind", "capacity", "load", "throughput", "latency_mean", "latency_p99",
+		"discard_fraction", "source_backlog",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, p := range points {
+		rec := []string{
+			p.Kind.String(),
+			strconv.Itoa(p.Capacity),
+			f(p.Load), f(p.Throughput), f(p.Latency), f(p.LatencyP99),
+			f(p.Discarded), f(p.Backlog),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

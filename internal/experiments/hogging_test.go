@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHogging(t *testing.T) {
+	rows, err := Hogging(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	central, part := rows[0], rows[1]
+	if central.LightMean < 0.2 {
+		t.Errorf("central pool victims lose only %.3f — hogging not reproduced", central.LightMean)
+	}
+	if part.LightMean > 0.01 {
+		t.Errorf("partitioned victims lose %.3f, want ~0", part.LightMean)
+	}
+	out := RenderHogging(rows)
+	if !strings.Contains(out, "victim mean") || !strings.Contains(out, "central pool") {
+		t.Error("render missing content")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/netsim"
+	"damq/internal/sw"
+)
+
+// RadixRow compares FIFO and DAMQ saturation at one switch radix. The
+// head-of-line ceiling worsens with radix (Karol: 0.75 at n=2, 0.655 at
+// n=4, toward 0.586), while a multi-queue buffer keeps every output
+// servable — so the DAMQ's advantage should grow with the radix. The
+// 64-input network needs 6/3/2 stages at radix 2/4/8; the ratio column is
+// the comparable quantity across rows.
+type RadixRow struct {
+	Radix   int
+	Stages  int
+	FIFOSat float64
+	DAMQSat float64
+	Ratio   float64
+}
+
+// RadixSweep measures saturation throughput for FIFO vs DAMQ Omega
+// networks of 64 inputs at radix 2, 4 and 8, one slot per output port at
+// every radix (capacity = radix) so per-port storage scales identically.
+func RadixSweep(sc Scale) ([]RadixRow, error) {
+	var rows []RadixRow
+	for _, radix := range []int{2, 4, 8} {
+		var row RadixRow
+		row.Radix = radix
+		sat := func(kind buffer.Kind) (float64, error) {
+			sim, err := netsim.New(netsim.Config{
+				Radix:         radix,
+				Inputs:        64,
+				BufferKind:    kind,
+				Capacity:      radix,
+				Policy:        arbiter.Smart,
+				Protocol:      sw.Blocking,
+				Traffic:       netsim.TrafficSpec{Kind: netsim.Uniform, Load: 1.0},
+				WarmupCycles:  sc.Warmup,
+				MeasureCycles: sc.Measure,
+				Seed:          sc.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res := sim.Run()
+			row.Stages = sim.Topology().Stages()
+			return res.Throughput(), nil
+		}
+		var err error
+		if row.FIFOSat, err = sat(buffer.FIFO); err != nil {
+			return nil, err
+		}
+		if row.DAMQSat, err = sat(buffer.DAMQ); err != nil {
+			return nil, err
+		}
+		row.Ratio = row.DAMQSat / row.FIFOSat
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderRadix formats the radix sweep.
+func RenderRadix(rows []RadixRow) string {
+	var b strings.Builder
+	b.WriteString("Radix sweep: saturation throughput, 64-input Omega, capacity = radix slots\n")
+	fmt.Fprintf(&b, "%-6s %-7s %10s %10s %10s\n", "radix", "stages", "FIFO sat", "DAMQ sat", "DAMQ/FIFO")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-7d %10.3f %10.3f %10.2f\n",
+			r.Radix, r.Stages, r.FIFOSat, r.DAMQSat, r.Ratio)
+	}
+	b.WriteString("Head-of-line blocking worsens with radix; per-destination queueing does\n")
+	b.WriteString("not — the DAMQ's margin grows with switch size.\n")
+	return b.String()
+}

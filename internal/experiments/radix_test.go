@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRadixSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six saturation runs")
+	}
+	sc := tiny
+	sc.Warmup = 800
+	rows, err := RadixSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantStages := map[int]int{2: 6, 4: 3, 8: 2}
+	for _, r := range rows {
+		if r.Stages != wantStages[r.Radix] {
+			t.Errorf("radix %d: %d stages, want %d", r.Radix, r.Stages, wantStages[r.Radix])
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("radix %d: DAMQ/FIFO ratio %v not > 1", r.Radix, r.Ratio)
+		}
+	}
+	// The advantage grows with radix (allowing simulation slack at the
+	// small end).
+	if rows[2].Ratio < rows[0].Ratio-0.05 {
+		t.Errorf("ratio did not grow with radix: %v -> %v", rows[0].Ratio, rows[2].Ratio)
+	}
+	if !strings.Contains(RenderRadix(rows), "DAMQ/FIFO") {
+		t.Error("render missing header")
+	}
+}

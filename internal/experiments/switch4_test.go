@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+func TestSwitch4x4Ordering(t *testing.T) {
+	rows, err := Switch4x4(100_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(kind buffer.Kind, slots int) []float64 {
+		for _, r := range rows {
+			if r.Kind == kind && r.Slots == slots {
+				return r.PDiscard
+			}
+		}
+		t.Fatalf("missing %v/%d", kind, slots)
+		return nil
+	}
+	// Table 2's shape at radix 4: at 90% load (index 2), DAMQ < SAFC <=
+	// SAMQ and DAMQ < FIFO; more slots help every design.
+	i90 := 2
+	damq4, fifo4 := get(buffer.DAMQ, 4), get(buffer.FIFO, 4)
+	samq4, safc4 := get(buffer.SAMQ, 4), get(buffer.SAFC, 4)
+	if !(damq4[i90] < safc4[i90] && safc4[i90] <= samq4[i90]+0.01 && damq4[i90] < fifo4[i90]) {
+		t.Fatalf("ordering broken at 90%%: DAMQ %v SAFC %v SAMQ %v FIFO %v",
+			damq4[i90], safc4[i90], samq4[i90], fifo4[i90])
+	}
+	for _, kind := range KindOrder {
+		small, big := get(kind, 4), get(kind, 8)
+		for i := range small {
+			if big[i] > small[i]+0.005 {
+				t.Errorf("%v: more slots increased discards at load %v: %v -> %v",
+					kind, Switch4Loads[i], small[i], big[i])
+			}
+		}
+	}
+	// A 4-slot DAMQ beats an 8-slot FIFO (the paper's chip-area trade).
+	damq4s, fifo8 := get(buffer.DAMQ, 4), get(buffer.FIFO, 8)
+	if damq4s[i90] > fifo8[i90] {
+		t.Errorf("DAMQ/4 %v !<= FIFO/8 %v at 90%%", damq4s[i90], fifo8[i90])
+	}
+	if !strings.Contains(RenderSwitch4(rows), "4x4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTailLatency(t *testing.T) {
+	rows, err := TailLatency(0.45, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var damq, fifo TailRow
+	for _, r := range rows {
+		if r.P50 > r.P95 || r.P95 > r.P99 {
+			t.Errorf("%v: percentiles not monotone: %v %v %v", r.Kind, r.P50, r.P95, r.P99)
+		}
+		switch r.Kind {
+		case buffer.DAMQ:
+			damq = r
+		case buffer.FIFO:
+			fifo = r
+		}
+	}
+	// At 0.45 load FIFO is near its knee: its tail must be far worse
+	// than DAMQ's even though medians stay comparable.
+	if damq.P99 >= fifo.P99 {
+		t.Errorf("p99: DAMQ %v !< FIFO %v", damq.P99, fifo.P99)
+	}
+	if !strings.Contains(RenderTail(rows), "p99") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeSaturation(t *testing.T) {
+	sc := tiny
+	sc.Warmup = 1500 // tree saturation needs time to establish
+	rows, err := TreeSaturation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.PerStage) != 3 {
+			t.Fatalf("%v: %d stages", r.Kind, len(r.PerStage))
+		}
+		// The gradient: stage 0 fullest, last stage lightest.
+		if !(r.PerStage[0] > r.PerStage[2]) {
+			t.Errorf("%v: no gradient: %v", r.Kind, r.PerStage)
+		}
+		if r.PerStage[0] <= r.UniformS0 {
+			t.Errorf("%v: stage 0 %v not above uniform reference %v",
+				r.Kind, r.PerStage[0], r.UniformS0)
+		}
+	}
+	out := RenderTreeSat(rows)
+	if !strings.Contains(out, "stage 0") || !strings.Contains(out, "Tree saturation") {
+		t.Error("render missing content")
+	}
+}

@@ -1,0 +1,58 @@
+package markov2x2
+
+import (
+	"damq/internal/buffer"
+	"damq/internal/rng"
+)
+
+// SimResult summarizes a Monte-Carlo run of the same process the Markov
+// model describes. It exists to cross-validate the exact analysis: the
+// simulation samples the identical departure-action distribution and
+// arrival process, so for long runs its discard fraction must converge to
+// the Markov answer.
+type SimResult struct {
+	Cycles     int64
+	Arrivals   int64
+	Discards   int64
+	Departures int64
+}
+
+// PDiscard is the empirical discard probability.
+func (r SimResult) PDiscard() float64 {
+	if r.Arrivals == 0 {
+		return 0
+	}
+	return float64(r.Discards) / float64(r.Arrivals)
+}
+
+// Simulate runs the 2×2 switch process for the given number of cycles.
+func Simulate(kind buffer.Kind, slots int, load float64, cycles int64, src *rng.Source) (SimResult, error) {
+	m, err := New(kind, slots, load)
+	if err != nil {
+		return SimResult{}, err
+	}
+	ps := [2]port{m.emptyPort(), m.emptyPort()}
+	var res SimResult
+	for c := int64(0); c < cycles; c++ {
+		// Departures: sample uniformly among the arbitration's actions.
+		actions := m.departureActions(ps)
+		act := actions[src.Intn(len(actions))]
+		ps = m.applyAction(ps, act)
+		res.Departures += int64(len(act))
+		// Arrivals.
+		for pi := 0; pi < 2; pi++ {
+			if !src.Bool(load) {
+				continue
+			}
+			res.Arrivals++
+			dest := src.Intn(2)
+			if m.canAccept(ps[pi], dest) {
+				ps[pi] = m.push(ps[pi], dest)
+			} else {
+				res.Discards++
+			}
+		}
+	}
+	res.Cycles = cycles
+	return res, nil
+}

@@ -1,0 +1,464 @@
+// Package netsim simulates a multistage Omega network of n×n switches
+// under the paper's Section 4.2 assumptions (following Pfister & Norton):
+// transmissions are synchronized, so a packet fully moves from one stage
+// to the next once per "network cycle" of ClocksPerCycle clock cycles
+// (12 in the paper: 8 to transmit + 4 to route); processors are message
+// generators, memories are message receivers.
+//
+// One network cycle:
+//
+//  1. Every switch arbitrates its crossbar against the pre-movement
+//     state. Under the blocking protocol a queue whose head cannot be
+//     stored downstream is masked from arbitration (the paper's "longest
+//     queue ... which was not blocked").
+//  2. All granted packets are popped, then delivered: last-stage packets
+//     exit to their memory module; others enter the next stage's input
+//     buffer. Pops happen before accepts, so a slot freed this cycle can
+//     hold a packet arriving this cycle. Under the discarding protocol a
+//     packet that finds its downstream buffer full is dropped.
+//  3. Sources inject: newly generated packets (plus, under blocking, the
+//     backlog waiting in unbounded source queues) enter first-stage
+//     buffers; under discarding a generated packet that does not fit is
+//     dropped at entry.
+//
+// Latency accounting (DESIGN.md §4): a packet is born at clock
+// cycle*C + u with u uniform in [0, C); it is delivered at the end of the
+// cycle that pops it from the last stage, clock (cycle+1)*C. End-to-end
+// latency (LatencyFromBorn) includes source queueing; network latency
+// (LatencyFromInjection) counts from the end of the injection cycle and is
+// the right metric in saturated regimes where source queues grow without
+// bound.
+package netsim
+
+import (
+	"fmt"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/omega"
+	"damq/internal/packet"
+	"damq/internal/rng"
+	"damq/internal/stats"
+	"damq/internal/sw"
+	"damq/internal/traffic"
+)
+
+// TrafficKind selects the workload.
+type TrafficKind int
+
+const (
+	// Uniform random destinations (paper Tables 3-5, Figure 3).
+	Uniform TrafficKind = iota
+	// HotSpot re-addresses a fraction of packets to one module (Table 6).
+	HotSpot
+	// Permutation uses one fixed destination per source.
+	Permutation
+	// Bursty generates multi-packet messages: geometric-length bursts of
+	// packets to one destination, back to back (the message extension).
+	Bursty
+)
+
+// TrafficSpec describes the workload.
+type TrafficSpec struct {
+	Kind TrafficKind
+	// Load is offered packets per source per network cycle.
+	Load float64
+	// HotFraction and HotDest configure HotSpot (e.g. 0.05 and 0).
+	HotFraction float64
+	HotDest     int
+	// Perm configures Permutation.
+	Perm []int
+	// MeanBurst configures Bursty: mean message length in packets (>= 1).
+	MeanBurst float64
+	// MinSlots/MaxSlots give packet sizes; 0,0 means fixed single-slot
+	// packets. MaxSlots > MinSlots enables the variable-length extension.
+	MinSlots, MaxSlots int
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Radix          int // switch size n (4 in the paper)
+	Inputs         int // network width N (64 in the paper)
+	BufferKind     buffer.Kind
+	Capacity       int // slots per input buffer (4 in most tables)
+	Policy         arbiter.Policy
+	Protocol       sw.Protocol
+	ClocksPerCycle int // 12 in the paper
+	Traffic        TrafficSpec
+	WarmupCycles   int64
+	MeasureCycles  int64
+	Seed           uint64
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (c Config) withDefaults() Config {
+	if c.Radix == 0 {
+		c.Radix = 4
+	}
+	if c.Inputs == 0 {
+		c.Inputs = 64
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 4
+	}
+	if c.ClocksPerCycle == 0 {
+		c.ClocksPerCycle = 12
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 1000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 10000
+	}
+	return c
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Config Config
+
+	Generated        int64 // packets born in the measurement window
+	Injected         int64 // packets entering stage 0 in the window
+	Delivered        int64 // packets delivered in the window
+	DiscardedAtEntry int64 // discarding protocol: dropped before stage 0
+	DiscardedInNet   int64 // discarding protocol: dropped between stages
+
+	// LatencyFromBorn includes source-queue wait (clock cycles).
+	LatencyFromBorn stats.Summary
+	// LatencyFromInjection counts from first-stage entry (clock cycles).
+	LatencyFromInjection stats.Summary
+	// HotLatency/ColdLatency split LatencyFromBorn by packet class.
+	HotLatency  stats.Summary
+	ColdLatency stats.Summary
+	// Occupancy is the time-average number of buffered packets per switch.
+	Occupancy stats.Summary
+	// StageOccupancy is the per-stage time-average buffered packets per
+	// switch; under hot-spot traffic it shows tree saturation filling the
+	// stages closest to the hot module first.
+	StageOccupancy []stats.Summary
+	// LatencyHist buckets LatencyFromBorn (12-clock buckets, 4096-clock
+	// span) for percentile reporting.
+	LatencyHist *stats.Histogram
+	// SourceBacklog is the time-average total source-queue length
+	// (blocking protocol only).
+	SourceBacklog stats.Summary
+}
+
+// LatencyP returns the q-quantile of LatencyFromBorn (e.g. 0.99).
+func (r *Result) LatencyP(q float64) float64 {
+	if r.LatencyHist == nil {
+		return 0
+	}
+	return r.LatencyHist.Quantile(q)
+}
+
+// Throughput is delivered packets per network input per cycle — the
+// x-axis of Figure 3 and the "saturation throughput" metric.
+func (r *Result) Throughput() float64 {
+	d := float64(r.Config.Inputs) * float64(r.Config.MeasureCycles)
+	if d == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / d
+}
+
+// OfferedLoad is generated packets per input per cycle.
+func (r *Result) OfferedLoad() float64 {
+	d := float64(r.Config.Inputs) * float64(r.Config.MeasureCycles)
+	if d == 0 {
+		return 0
+	}
+	return float64(r.Generated) / d
+}
+
+// DiscardFraction is the fraction of generated packets discarded anywhere
+// (Table 3's "percent discarded" divided by 100).
+func (r *Result) DiscardFraction() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.DiscardedAtEntry+r.DiscardedInNet) / float64(r.Generated)
+}
+
+// Sim is one instantiated network.
+type Sim struct {
+	cfg     Config
+	top     *omega.Topology
+	stages  [][]*sw.Switch
+	srcQ    [][]*packet.Packet // blocking backlog per network input
+	pattern traffic.Pattern
+	lengths traffic.Lengths
+	alloc   packet.Alloc
+	phase   *rng.Source // birth-phase offsets
+	cycle   int64
+	// warmupBoundary is the cycle measurement began; packets born earlier
+	// are excluded from latency statistics.
+	warmupBoundary int64
+	// inFlight tracks buffered packets for conservation checks.
+	inFlight int64
+
+	grantScratch []arbiter.Grant
+	moveScratch  []move
+}
+
+type move struct {
+	p     *packet.Packet
+	stage int
+	swIdx int
+	out   int
+}
+
+// New validates cfg and builds the network.
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	top, err := omega.New(cfg.Radix, cfg.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Traffic.Load < 0 || cfg.Traffic.Load > 1 {
+		return nil, fmt.Errorf("netsim: load %v out of [0,1]", cfg.Traffic.Load)
+	}
+	s := &Sim{cfg: cfg, top: top}
+
+	master := rng.New(cfg.Seed)
+	trafficSrc := master.Split()
+	s.phase = master.Split()
+	lenSrc := master.Split()
+
+	switch cfg.Traffic.Kind {
+	case Uniform:
+		s.pattern, err = traffic.NewUniform(cfg.Inputs, cfg.Traffic.Load, trafficSrc)
+	case HotSpot:
+		s.pattern, err = traffic.NewHotSpot(cfg.Inputs, cfg.Traffic.Load,
+			cfg.Traffic.HotFraction, cfg.Traffic.HotDest, trafficSrc)
+	case Permutation:
+		s.pattern, err = traffic.NewPermutation(cfg.Traffic.Perm, cfg.Traffic.Load, trafficSrc)
+	case Bursty:
+		s.pattern, err = traffic.NewBursty(cfg.Inputs, cfg.Traffic.Load, cfg.Traffic.MeanBurst, trafficSrc)
+	default:
+		err = fmt.Errorf("netsim: unknown traffic kind %d", cfg.Traffic.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Traffic.MaxSlots > cfg.Traffic.MinSlots {
+		s.lengths = traffic.UniformLengths{Lo: cfg.Traffic.MinSlots, Hi: cfg.Traffic.MaxSlots, Src: lenSrc}
+	} else if cfg.Traffic.MinSlots > 1 {
+		s.lengths = traffic.Fixed(cfg.Traffic.MinSlots)
+	} else {
+		s.lengths = traffic.Fixed(1)
+	}
+
+	for st := 0; st < top.Stages(); st++ {
+		var row []*sw.Switch
+		for i := 0; i < top.SwitchesPerStage(); i++ {
+			swc, err := sw.New(sw.Config{
+				Ports:      cfg.Radix,
+				BufferKind: cfg.BufferKind,
+				Capacity:   cfg.Capacity,
+				Policy:     cfg.Policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, swc)
+		}
+		s.stages = append(s.stages, row)
+	}
+	s.srcQ = make([][]*packet.Packet, cfg.Inputs)
+	return s, nil
+}
+
+// Topology exposes the network's topology.
+func (s *Sim) Topology() *omega.Topology { return s.top }
+
+// Cycle returns the current network cycle.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// InFlight returns the number of packets buffered in switches.
+func (s *Sim) InFlight() int64 { return s.inFlight }
+
+// SourceBacklogLen returns the total packets waiting in source queues.
+func (s *Sim) SourceBacklogLen() int64 {
+	var n int64
+	for _, q := range s.srcQ {
+		n += int64(len(q))
+	}
+	return n
+}
+
+// blockProbe builds the blocking-protocol probe for stage st switch si:
+// the head packet for output out is blocked iff the downstream buffer it
+// would enter cannot store it right now.
+func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
+	if s.cfg.Protocol != sw.Blocking || st == s.top.Stages()-1 {
+		// Last stage feeds memories, which always accept.
+		return nil
+	}
+	return func(out int, p *packet.Packet) bool {
+		nsw, nport := s.top.NextStage(si, out)
+		probe := *p
+		probe.OutPort = s.top.RouteDigit(p.Dest, st+1)
+		return !s.stages[st+1][nsw].CanAcceptAt(nport, &probe)
+	}
+}
+
+// Step advances the network one cycle. res accumulates measurements when
+// measuring is true (the warmup loop passes false).
+func (s *Sim) Step(res *Result, measuring bool) {
+	nStages := s.top.Stages()
+
+	// Phase 1: arbitration everywhere, against pre-movement state.
+	s.moveScratch = s.moveScratch[:0]
+	for st := 0; st < nStages; st++ {
+		for si, swc := range s.stages[st] {
+			s.grantScratch = swc.Arbitrate(s.blockProbe(st, si), s.grantScratch[:0])
+			for _, g := range s.grantScratch {
+				p := swc.PopGrant(g)
+				s.moveScratch = append(s.moveScratch, move{p: p, stage: st, swIdx: si, out: g.Out})
+			}
+		}
+	}
+
+	// Phase 2: deliveries and inter-stage transfers (pops already done).
+	for _, mv := range s.moveScratch {
+		if mv.stage == nStages-1 {
+			s.inFlight--
+			s.deliver(mv.p, res, measuring)
+			continue
+		}
+		nsw, nport := s.top.NextStage(mv.swIdx, mv.out)
+		mv.p.OutPort = s.top.RouteDigit(mv.p.Dest, mv.stage+1)
+		next := s.stages[mv.stage+1][nsw]
+		if next.Offer(nport, mv.p) {
+			continue
+		}
+		switch s.cfg.Protocol {
+		case sw.Discarding:
+			s.inFlight--
+			if measuring {
+				res.DiscardedInNet++
+			}
+		default:
+			// The blocking probe guaranteed admission; reaching here is a
+			// simulator bug, not a model outcome.
+			panic(fmt.Sprintf("netsim: blocked packet %v escaped upstream", mv.p))
+		}
+	}
+
+	// Phase 3: generation and injection.
+	for src := 0; src < s.cfg.Inputs; src++ {
+		dest, hot, ok := s.pattern.Generate(src)
+		if ok {
+			p := s.alloc.New(src, dest, s.lengths.Draw(), s.cycle)
+			p.Hot = hot
+			s.enqueueSource(p, res, measuring)
+		}
+		// Blocking: drain as much backlog as fits (at most one packet can
+		// enter the stage-0 buffer per cycle — the input link carries one
+		// packet per cycle).
+		if s.cfg.Protocol == sw.Blocking && len(s.srcQ[src]) > 0 {
+			head := s.srcQ[src][0]
+			if s.inject(head) {
+				s.srcQ[src][0] = nil
+				s.srcQ[src] = s.srcQ[src][1:]
+				if len(s.srcQ[src]) == 0 {
+					s.srcQ[src] = nil
+				}
+				if measuring {
+					res.Injected++
+				}
+			}
+		}
+	}
+
+	if measuring {
+		// Occupancy snapshots, total and per stage.
+		if res.StageOccupancy == nil {
+			res.StageOccupancy = make([]stats.Summary, len(s.stages))
+		}
+		for st := range s.stages {
+			for _, swc := range s.stages[st] {
+				n := float64(swc.Len())
+				res.Occupancy.Add(n)
+				res.StageOccupancy[st].Add(n)
+			}
+		}
+		res.SourceBacklog.Add(float64(s.SourceBacklogLen()))
+	}
+	s.cycle++
+}
+
+// enqueueSource routes a newborn packet toward the network.
+func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
+	if measuring {
+		res.Generated++
+	}
+	switch s.cfg.Protocol {
+	case sw.Blocking:
+		s.srcQ[p.Source] = append(s.srcQ[p.Source], p)
+	default: // Discarding: offer immediately, drop on refusal.
+		if s.inject(p) {
+			if measuring {
+				res.Injected++
+			}
+		} else if measuring {
+			res.DiscardedAtEntry++
+		}
+	}
+}
+
+// inject attempts to place p into its stage-0 buffer.
+func (s *Sim) inject(p *packet.Packet) bool {
+	swIdx, port := s.top.FirstStageSwitch(p.Source)
+	p.OutPort = s.top.RouteDigit(p.Dest, 0)
+	if !s.stages[0][swIdx].Offer(port, p) {
+		return false
+	}
+	p.Injected = s.cycle
+	s.inFlight++
+	return true
+}
+
+// deliver records a packet reaching its memory module. All deliveries in
+// the measurement window count toward throughput; latency samples come
+// only from packets born inside the window, so warmup transients do not
+// bias the mean.
+func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
+	if !measuring {
+		return
+	}
+	res.Delivered++
+	if p.Born < s.warmupBoundary {
+		return
+	}
+	c := int64(s.cfg.ClocksPerCycle)
+	bornClock := p.Born*c + int64(s.phase.Intn(int(c)))
+	deliveryClock := (s.cycle + 1) * c
+	injectClock := (p.Injected + 1) * c
+	if res.LatencyHist == nil {
+		res.LatencyHist = stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle))
+	}
+	res.LatencyHist.Add(float64(deliveryClock - bornClock))
+	res.LatencyFromBorn.Add(float64(deliveryClock - bornClock))
+	res.LatencyFromInjection.Add(float64(deliveryClock - injectClock))
+	if p.Hot {
+		res.HotLatency.Add(float64(deliveryClock - bornClock))
+	} else {
+		res.ColdLatency.Add(float64(deliveryClock - bornClock))
+	}
+}
+
+// Run executes warmup then measurement and returns the results.
+func (s *Sim) Run() *Result {
+	res := &Result{Config: s.cfg}
+	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+		s.Step(res, false)
+	}
+	s.warmupBoundary = s.cycle
+	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+		s.Step(res, true)
+	}
+	return res
+}

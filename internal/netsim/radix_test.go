@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/sw"
+)
+
+// The paper evaluates a 64×64 network of 4×4 switches, but the Omega
+// construction and the buffer designs are radix-generic. These tests run
+// the simulator at other radices to pin that generality down.
+
+func radixCfg(radix, inputs int, kind buffer.Kind, load float64) Config {
+	return Config{
+		Radix:         radix,
+		Inputs:        inputs,
+		BufferKind:    kind,
+		Capacity:      radix, // one slot per output, scaled with radix
+		Policy:        arbiter.Smart,
+		Protocol:      sw.Blocking,
+		Traffic:       TrafficSpec{Kind: Uniform, Load: load},
+		WarmupCycles:  500,
+		MeasureCycles: 3000,
+		Seed:          11,
+	}
+}
+
+func TestRadix2Network(t *testing.T) {
+	// 64 inputs of 2x2 switches: 6 stages. Zero-load latency floor is
+	// (stages)*12 clocks from injection.
+	cfg := radixCfg(2, 64, buffer.DAMQ, 0.05)
+	cfg.Capacity = 4
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Topology().Stages() != 6 {
+		t.Fatalf("stages = %d", sim.Topology().Stages())
+	}
+	res := sim.Run()
+	if m := res.LatencyFromInjection.Mean(); m < 72 || m > 75 {
+		t.Fatalf("radix-2 zero-load latency = %v, want just above 72", m)
+	}
+	if math.Abs(res.Throughput()-0.05) > 0.01 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+}
+
+func TestRadix8Network(t *testing.T) {
+	// 64 inputs of 8x8 switches: 2 stages.
+	cfg := radixCfg(8, 64, buffer.DAMQ, 0.3)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Topology().Stages() != 2 {
+		t.Fatalf("stages = %d", sim.Topology().Stages())
+	}
+	res := sim.Run()
+	if math.Abs(res.Throughput()-0.3) > 0.01 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+}
+
+func TestRadix2DAMQStillBeatsFIFO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long saturation runs")
+	}
+	thr := map[buffer.Kind]float64{}
+	for _, kind := range []buffer.Kind{buffer.FIFO, buffer.DAMQ} {
+		cfg := radixCfg(2, 64, kind, 1.0)
+		cfg.Capacity = 4
+		cfg.WarmupCycles = 1500
+		cfg.MeasureCycles = 6000
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr[kind] = sim.Run().Throughput()
+	}
+	// With only two outputs per switch, HOL blocking is milder, so the
+	// gap shrinks — but DAMQ must still win.
+	if thr[buffer.DAMQ] <= thr[buffer.FIFO] {
+		t.Fatalf("radix 2: DAMQ %v !> FIFO %v", thr[buffer.DAMQ], thr[buffer.FIFO])
+	}
+}
+
+func TestLargerNetwork256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large network")
+	}
+	// 256x256 of 4x4 switches: 4 stages, 64 switches per stage.
+	cfg := radixCfg(4, 256, buffer.DAMQ, 0.4)
+	cfg.Capacity = 4
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Topology().Stages() != 4 || sim.Topology().SwitchesPerStage() != 64 {
+		t.Fatalf("topology wrong: %d stages, %d/stage",
+			sim.Topology().Stages(), sim.Topology().SwitchesPerStage())
+	}
+	res := sim.Run()
+	if math.Abs(res.Throughput()-0.4) > 0.01 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+	// 4 stages -> 48-clock injection floor.
+	if res.LatencyFromInjection.Mean() < 48 {
+		t.Fatalf("latency below floor: %v", res.LatencyFromInjection.Mean())
+	}
+}
+
+func TestBurstyTrafficInNetwork(t *testing.T) {
+	cfg := baseCfg(buffer.DAMQ, sw.Blocking, 0.4)
+	cfg.Traffic = TrafficSpec{Kind: Bursty, Load: 0.4, MeanBurst: 4}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if math.Abs(res.Throughput()-0.4) > 0.02 {
+		t.Fatalf("bursty throughput = %v at offered 0.4", res.Throughput())
+	}
+	// Bursty traffic at the same load must cost latency vs independent
+	// packets.
+	uni, err := New(baseCfg(buffer.DAMQ, sw.Blocking, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes := uni.Run()
+	if res.LatencyFromBorn.Mean() <= uniRes.LatencyFromBorn.Mean() {
+		t.Fatalf("bursty latency %v <= uniform %v",
+			res.LatencyFromBorn.Mean(), uniRes.LatencyFromBorn.Mean())
+	}
+}
+
+func TestBurstyValidationInConfig(t *testing.T) {
+	cfg := baseCfg(buffer.DAMQ, sw.Blocking, 0.4)
+	cfg.Traffic = TrafficSpec{Kind: Bursty, Load: 0.4, MeanBurst: 0.5}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted mean burst < 1")
+	}
+}

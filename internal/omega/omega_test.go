@@ -1,0 +1,149 @@
+package omega
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 4); err == nil {
+		t.Error("accepted radix 1")
+	}
+	if _, err := New(4, 2); err == nil {
+		t.Error("accepted inputs < radix")
+	}
+	if _, err := New(4, 48); err == nil {
+		t.Error("accepted non-power inputs")
+	}
+	top, err := New(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Stages() != 3 || top.SwitchesPerStage() != 16 || top.Radix() != 4 || top.Inputs() != 64 {
+		t.Fatalf("64-input radix-4: %+v", top)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(4, 63)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	for _, cfg := range []struct{ k, n int }{{2, 8}, {4, 64}, {2, 64}, {4, 16}} {
+		top := MustNew(cfg.k, cfg.n)
+		seen := make([]bool, cfg.n)
+		for x := 0; x < cfg.n; x++ {
+			y := top.Shuffle(x)
+			if y < 0 || y >= cfg.n || seen[y] {
+				t.Fatalf("k=%d n=%d: shuffle not a permutation at %d->%d", cfg.k, cfg.n, x, y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestShuffleRotatesDigits(t *testing.T) {
+	// For k=2, N=8: shuffle(x) is a left rotate of 3 bits.
+	top := MustNew(2, 8)
+	cases := map[int]int{0: 0, 1: 2, 2: 4, 3: 6, 4: 1, 5: 3, 6: 5, 7: 7}
+	for x, want := range cases {
+		if got := top.Shuffle(x); got != want {
+			t.Errorf("shuffle(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestSwitchPortLineRoundTrip(t *testing.T) {
+	f := func(sw, port uint8) bool {
+		k := 4
+		s, p := int(sw)%16, int(port)%k
+		line := Line(k, s, p)
+		gs, gp := SwitchPort(k, line)
+		return gs == s && gp == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteDigit(t *testing.T) {
+	top := MustNew(4, 64)
+	// dest 0b digits: dest = d0*16 + d1*4 + d2 (MSB first).
+	dest := 2*16 + 3*4 + 1
+	if top.RouteDigit(dest, 0) != 2 || top.RouteDigit(dest, 1) != 3 || top.RouteDigit(dest, 2) != 1 {
+		t.Fatalf("digits = %d,%d,%d", top.RouteDigit(dest, 0), top.RouteDigit(dest, 1), top.RouteDigit(dest, 2))
+	}
+}
+
+// TestAllPathsDeliver is the key topology correctness check: for every
+// (src, dest) pair, following the shuffle wiring and digit routing must
+// arrive at exactly dest.
+func TestAllPathsDeliver(t *testing.T) {
+	for _, cfg := range []struct{ k, n int }{{2, 8}, {2, 16}, {4, 16}, {4, 64}} {
+		top := MustNew(cfg.k, cfg.n)
+		for src := 0; src < cfg.n; src++ {
+			for dest := 0; dest < cfg.n; dest++ {
+				hops := top.Path(src, dest)
+				if len(hops) != top.Stages() {
+					t.Fatalf("path %d->%d has %d hops", src, dest, len(hops))
+				}
+				last := hops[len(hops)-1]
+				got := top.LastStageOutput(last.Switch, last.OutPort)
+				if got != dest {
+					t.Fatalf("k=%d n=%d: path %d->%d delivers to %d (hops %v)",
+						cfg.k, cfg.n, src, dest, got, hops)
+				}
+			}
+		}
+	}
+}
+
+// TestStageWiringConsistent checks that NextStage agrees with Path.
+func TestStageWiringConsistent(t *testing.T) {
+	top := MustNew(4, 64)
+	for src := 0; src < 64; src += 7 {
+		for dest := 0; dest < 64; dest += 5 {
+			hops := top.Path(src, dest)
+			for s := 0; s+1 < len(hops); s++ {
+				nsw, nport := top.NextStage(hops[s].Switch, hops[s].OutPort)
+				if nsw != hops[s+1].Switch || nport != hops[s+1].InPort {
+					t.Fatalf("wiring mismatch at stage %d of %d->%d", s, src, dest)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseShuffle(t *testing.T) {
+	for _, cfg := range []struct{ k, n int }{{2, 8}, {4, 64}, {4, 16}, {8, 64}} {
+		top := MustNew(cfg.k, cfg.n)
+		for x := 0; x < cfg.n; x++ {
+			if got := top.InverseShuffle(top.Shuffle(x)); got != x {
+				t.Fatalf("k=%d n=%d: InverseShuffle(Shuffle(%d)) = %d", cfg.k, cfg.n, x, got)
+			}
+			if got := top.Shuffle(top.InverseShuffle(x)); got != x {
+				t.Fatalf("k=%d n=%d: Shuffle(InverseShuffle(%d)) = %d", cfg.k, cfg.n, x, got)
+			}
+		}
+	}
+}
+
+// TestUniqueFirstStagePorts: the pre-stage shuffle must spread the 64
+// sources across all 64 stage-0 input ports bijectively.
+func TestUniqueFirstStagePorts(t *testing.T) {
+	top := MustNew(4, 64)
+	seen := map[[2]int]bool{}
+	for src := 0; src < 64; src++ {
+		sw, port := top.FirstStageSwitch(src)
+		key := [2]int{sw, port}
+		if seen[key] {
+			t.Fatalf("two sources share stage-0 port %v", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,75 @@
+// Package packet defines the packet model shared by the long-clock switch
+// and network simulators.
+//
+// In the paper's evaluation (Section 4) packets are fixed length and move
+// whole-packet-at-a-time on a "long clock"; the variable-length,
+// byte-serial behaviour is modeled separately, at clock-cycle granularity,
+// by package comcobb. A Packet here therefore carries routing and
+// accounting metadata but no payload bytes.
+package packet
+
+import "fmt"
+
+// Packet is one fixed- or variable-length packet traversing a simulated
+// network. Fields are exported because the simulator packages in this
+// module construct and inspect packets directly; external users go through
+// the damq facade.
+type Packet struct {
+	// ID is unique per simulation run, assigned by the allocator.
+	ID uint64
+	// Source is the network input (processor) that generated the packet.
+	Source int
+	// Dest is the network output (memory module) the packet is addressed to.
+	Dest int
+	// Slots is the storage the packet occupies in a buffer, in slot units.
+	// Fixed-length experiments use 1; the variable-length extension uses
+	// 1..4 (the paper's 1-32 bytes in 8-byte slots).
+	Slots int
+	// Born is the long-clock cycle in which the packet was generated.
+	Born int64
+	// Injected is the cycle the packet entered the first network stage
+	// (-1 until then). Network latency in saturated regimes is measured
+	// from Injected; end-to-end latency from Born.
+	Injected int64
+	// Hot marks hot-spot packets, for per-class accounting.
+	Hot bool
+	// OutPort is scratch used inside a switch: the local output port the
+	// packet has been routed to. It is rewritten at every stage.
+	OutPort int
+	// Bytes is the payload size in bytes; used by the asynchronous
+	// event-driven simulator, where link occupancy is per byte. The
+	// long-clock simulators use Slots only.
+	Bytes int
+	// ReadyAt is event-simulator scratch: the time the packet's routing
+	// completes at its current switch and it becomes eligible for the
+	// crossbar. Rewritten at every hop.
+	ReadyAt int64
+}
+
+// String renders the packet for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d slots=%d born=%d", p.ID, p.Source, p.Dest, p.Slots, p.Born)
+}
+
+// Alloc hands out packets with unique IDs. It recycles nothing: packets
+// are small and the Go allocator handles churn; the simulators hold at most
+// a few thousand live packets.
+type Alloc struct {
+	next uint64
+}
+
+// New returns a fresh packet with the next unique ID and Injected = -1.
+func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
+	a.next++
+	return &Packet{
+		ID:       a.next,
+		Source:   source,
+		Dest:     dest,
+		Slots:    slots,
+		Born:     born,
+		Injected: -1,
+	}
+}
+
+// Issued reports how many packets have been allocated.
+func (a *Alloc) Issued() uint64 { return a.next }

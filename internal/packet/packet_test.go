@@ -1,0 +1,46 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllocUniqueIDs(t *testing.T) {
+	var a Alloc
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		p := a.New(1, 2, 1, int64(i))
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if a.Issued() != 1000 {
+		t.Fatalf("Issued = %d", a.Issued())
+	}
+}
+
+func TestNewFields(t *testing.T) {
+	var a Alloc
+	p := a.New(3, 7, 2, 42)
+	if p.Source != 3 || p.Dest != 7 || p.Slots != 2 || p.Born != 42 {
+		t.Fatalf("fields wrong: %+v", p)
+	}
+	if p.Injected != -1 {
+		t.Fatalf("Injected should start at -1, got %d", p.Injected)
+	}
+	if p.Hot {
+		t.Fatal("packets are cold by default")
+	}
+}
+
+func TestString(t *testing.T) {
+	var a Alloc
+	p := a.New(3, 7, 2, 42)
+	s := p.String()
+	for _, want := range []string{"3->7", "slots=2", "born=42"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package stats provides the statistical machinery used by the simulators:
+// streaming summaries (Welford), histograms, batch-means confidence
+// intervals, latency-vs-throughput series, and saturation detection for
+// reproducing the paper's "saturation throughput" columns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with numerically stable
+// (Welford) mean and variance. The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddN records the same observation value n times.
+func (s *Summary) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// Merge folds other into s, as if all of other's observations had been
+// added to s directly (Chan et al. parallel variance combination).
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	delta := other.mean - s.mean
+	total := s.n + other.n
+	s.m2 += other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(total)
+	s.mean += delta * float64(other.n) / float64(total)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n = total
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the minimum observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean, using the normal critical value (observation counts in the
+// simulators are large enough that the t correction is negligible).
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// String formats the summary for human-readable experiment logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.mean, s.CI95(), s.StdDev(), s.min, s.max)
+}
+
+// Counter is a simple named event counter with a rate helper.
+type Counter struct {
+	count int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.count++ }
+
+// Apply adds n to the counter.
+func (c *Counter) Apply(n int64) { c.count += n }
+
+// Count returns the current value.
+func (c *Counter) Count() int64 { return c.count }
+
+// RatePer returns count divided by the given denominator (0 if denom==0).
+func (c *Counter) RatePer(denom float64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(c.count) / denom
+}
+
+// Histogram is a fixed-width bucket histogram over [0, width*buckets), with
+// an overflow bucket for larger values.
+type Histogram struct {
+	width    float64
+	counts   []int64
+	overflow int64
+	total    int64
+	sum      float64
+}
+
+// NewHistogram returns a histogram with the given number of buckets each
+// covering width units.
+func NewHistogram(buckets int, width float64) *Histogram {
+	if buckets <= 0 || width <= 0 {
+		panic("stats: NewHistogram needs positive buckets and width")
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets)}
+}
+
+// Add records one observation. Negative values clamp into bucket 0.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	if x < 0 {
+		h.counts[0]++
+		return
+	}
+	i := int(x / h.width)
+	if i >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the exact mean of all added observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximation of the q-quantile (0<=q<=1) assuming
+// observations sit at their bucket midpoints. Overflow observations are
+// treated as lying at the overflow boundary.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return (float64(i) + 0.5) * h.width
+		}
+	}
+	return float64(len(h.counts)) * h.width
+}
+
+// Buckets returns a copy of the bucket counts (excluding overflow).
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Overflow returns the overflow bucket count.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// BatchMeans estimates a confidence interval for the mean of a correlated
+// stationary sequence (e.g. per-cycle latencies from one simulation run) by
+// splitting it into batches and treating batch means as independent.
+type BatchMeans struct {
+	batchSize int
+	current   Summary
+	batches   Summary
+}
+
+// NewBatchMeans returns an estimator with the given batch size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one observation, closing a batch when it fills.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.N() == int64(b.batchSize) {
+		b.batches.Add(b.current.Mean())
+		b.current = Summary{}
+	}
+}
+
+// Mean returns the mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI95 returns the 95% CI half-width computed over completed batches.
+func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.N() }
+
+// Point is one (throughput, latency) measurement on a load sweep.
+type Point struct {
+	Offered    float64 // offered load, fraction of link capacity
+	Throughput float64 // delivered throughput, fraction of link capacity
+	Latency    float64 // mean latency, clock cycles
+	Discarded  float64 // fraction of generated packets discarded (discarding protocol)
+}
+
+// Series is an ordered set of sweep points, used to render Figure-3-style
+// latency/throughput curves and to locate saturation.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point, keeping the series sorted by offered load.
+func (s *Series) Add(p Point) {
+	s.Points = append(s.Points, p)
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Offered < s.Points[j].Offered })
+}
+
+// SaturationThroughput estimates the saturation throughput of a series as
+// the maximum delivered throughput observed across the sweep. In a blocking
+// network the delivered throughput plateaus at saturation while latency
+// diverges, so the plateau height is the saturation throughput — the same
+// definition Pfister and Norton use for their latency/throughput graphs.
+func (s *Series) SaturationThroughput() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > max {
+			max = p.Throughput
+		}
+	}
+	return max
+}
+
+// LatencyAt returns the latency at the sweep point whose delivered
+// throughput is closest to the requested value, interpolating linearly
+// between the two bracketing points when possible. ok is false if the
+// series is empty.
+func (s *Series) LatencyAt(throughput float64) (latency float64, ok bool) {
+	if len(s.Points) == 0 {
+		return 0, false
+	}
+	// Points are sorted by offered load; throughput is monotone below
+	// saturation. Find bracketing pair by throughput.
+	pts := s.Points
+	if throughput <= pts[0].Throughput {
+		return pts[0].Latency, true
+	}
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if throughput <= b.Throughput && b.Throughput > a.Throughput {
+			f := (throughput - a.Throughput) / (b.Throughput - a.Throughput)
+			return a.Latency + f*(b.Latency-a.Latency), true
+		}
+	}
+	return pts[len(pts)-1].Latency, true
+}
+
+// Mean computes the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RelErr returns |a-b| / max(|a|,|b|, eps): a symmetric relative error used
+// by cross-validation tests (Markov vs Monte-Carlo).
+func RelErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-12 {
+		return d
+	}
+	return d / m
+}

@@ -1,0 +1,31 @@
+package sw
+
+import (
+	"testing"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+)
+
+func TestAccessors(t *testing.T) {
+	cfg := Config{Ports: 4, BufferKind: buffer.DAMQ, Capacity: 4, Policy: arbiter.Smart}
+	s := MustNew(cfg)
+	if s.Ports() != 4 {
+		t.Fatalf("Ports = %d", s.Ports())
+	}
+	if s.Config() != cfg {
+		t.Fatalf("Config = %+v", s.Config())
+	}
+	if s.Buffer(2) == nil || s.Buffer(2).Kind() != buffer.DAMQ {
+		t.Fatal("Buffer accessor wrong")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(Config{Ports: -1})
+}

@@ -1,0 +1,46 @@
+package sw
+
+import "damq/internal/rng"
+
+// KarolSaturation simulates the classic saturated input-queued switch of
+// Karol, Hluchyj & Morgan (the paper's reference 5): every input has an
+// infinite backlog; each head-of-line packet is addressed uniformly at
+// random when it reaches the head; each output serves one of its
+// contending heads chosen uniformly; losers stay at the head and retry.
+// It returns the per-output throughput.
+//
+// This is a pure theory cross-check for the repository: the known limits
+// are 0.75 for n=2, ≈0.6553 for n=4, and 2-√2 ≈ 0.5858 as n→∞ — the
+// head-of-line-blocking ceiling that motivates the DAMQ. A multi-queue
+// buffer in the same saturated setting serves every output every cycle
+// (throughput 1), which is why Table 4's DAMQ keeps climbing where FIFO
+// stalls.
+func KarolSaturation(n int, cycles int64, src *rng.Source) float64 {
+	if n <= 0 || cycles <= 0 {
+		return 0
+	}
+	heads := make([]int, n) // destination of each input's head packet
+	for i := range heads {
+		heads[i] = src.Intn(n)
+	}
+	contenders := make([][]int, n)
+	var served int64
+	for c := int64(0); c < cycles; c++ {
+		for o := range contenders {
+			contenders[o] = contenders[o][:0]
+		}
+		for i, d := range heads {
+			contenders[d] = append(contenders[d], i)
+		}
+		for o, ins := range contenders {
+			if len(ins) == 0 {
+				continue
+			}
+			winner := ins[src.Intn(len(ins))]
+			served++
+			_ = o
+			heads[winner] = src.Intn(n) // next packet reaches the head
+		}
+	}
+	return float64(served) / float64(cycles) / float64(n)
+}

@@ -1,0 +1,190 @@
+// Package sw models one n×n packet switch under the long-clock model:
+// per-input buffers of any of the paper's four organizations, a crossbar,
+// and a central arbiter. A network simulator (package netsim) composes
+// switches into stages; this package also supports standalone Monte-Carlo
+// runs of a single discarding switch, used to cross-validate the Markov
+// models and to reproduce Table-2-like behaviour by simulation.
+//
+// Cycle structure (one long clock, matching DESIGN.md §4):
+//
+//  1. Arbitrate: the switch inspects its buffers and the downstream
+//     admission state (via a caller-supplied probe) and computes a
+//     crossbar matching.
+//  2. Transmit: granted packets are popped.
+//  3. Deliver/accept: the caller moves popped packets downstream; freed
+//     slots become visible to arrivals.
+//  4. Arrivals: the caller offers new packets to input ports; a packet
+//     that does not fit is discarded (discarding protocol) or stays
+//     upstream (blocking protocol).
+package sw
+
+import (
+	"fmt"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/packet"
+)
+
+// Protocol is the network flow-control discipline.
+type Protocol int
+
+const (
+	// Discarding switches drop packets that arrive at a full buffer.
+	Discarding Protocol = iota
+	// Blocking switches prevent the upstream from sending into a full
+	// buffer, propagating back-pressure.
+	Blocking
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Discarding:
+		return "discarding"
+	case Blocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes one switch.
+type Config struct {
+	Ports      int // n: number of input ports and of output ports
+	BufferKind buffer.Kind
+	Capacity   int // slots per input buffer
+	Policy     arbiter.Policy
+}
+
+// Switch is one n×n switch instance.
+type Switch struct {
+	cfg  Config
+	bufs []buffer.Buffer
+	arb  *arbiter.Arbiter
+}
+
+// New builds a switch. It returns an error for invalid buffer configs
+// (e.g. SAMQ capacity not divisible by the port count).
+func New(cfg Config) (*Switch, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("sw: ports must be positive, got %d", cfg.Ports)
+	}
+	s := &Switch{
+		cfg: cfg,
+		arb: arbiter.New(cfg.Policy, cfg.Ports, cfg.Ports),
+	}
+	for i := 0; i < cfg.Ports; i++ {
+		b, err := buffer.New(buffer.Config{
+			Kind:       cfg.BufferKind,
+			NumOutputs: cfg.Ports,
+			Capacity:   cfg.Capacity,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sw: input %d: %w", i, err)
+		}
+		s.bufs = append(s.bufs, b)
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Switch {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ports returns n.
+func (s *Switch) Ports() int { return s.cfg.Ports }
+
+// Buffer exposes input i's buffer (for probes, tests, and statistics).
+func (s *Switch) Buffer(i int) buffer.Buffer { return s.bufs[i] }
+
+// Config returns the construction parameters.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Len is the number of packets currently buffered in the whole switch.
+func (s *Switch) Len() int {
+	n := 0
+	for _, b := range s.bufs {
+		n += b.Len()
+	}
+	return n
+}
+
+// Reset clears all buffers and arbitration state.
+func (s *Switch) Reset() {
+	for _, b := range s.bufs {
+		b.Reset()
+	}
+	s.arb.Reset()
+}
+
+// BlockProbe reports whether the head packet of queue (in → out) must not
+// be transmitted because the downstream cannot take it. A nil probe means
+// nothing ever blocks (discarding protocol, or final stage feeding sinks).
+type BlockProbe func(out int, p *packet.Packet) bool
+
+// view adapts the switch state + probe to the arbiter's View.
+type view struct {
+	s     *Switch
+	probe BlockProbe
+}
+
+func (v view) Ports() (int, int)     { return v.s.cfg.Ports, v.s.cfg.Ports }
+func (v view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
+func (v view) HasHead(i, o int) bool { return v.s.bufs[i].Head(o) != nil }
+func (v view) MaxReads(i int) int    { return v.s.bufs[i].MaxReadsPerCycle() }
+
+func (v view) Blocked(i, o int) bool {
+	if v.probe == nil {
+		return false
+	}
+	p := v.s.bufs[i].Head(o)
+	if p == nil {
+		return false
+	}
+	return v.probe(o, p)
+}
+
+// Arbitrate computes this cycle's matching. grants is reused storage
+// (pass nil to allocate).
+func (s *Switch) Arbitrate(probe BlockProbe, grants []arbiter.Grant) []arbiter.Grant {
+	return s.arb.Arbitrate(view{s: s, probe: probe}, grants)
+}
+
+// PopGrant removes and returns the packet named by a grant from Arbitrate.
+// It panics if the grant no longer matches a head packet, which would mean
+// the caller mutated buffers between Arbitrate and PopGrant.
+func (s *Switch) PopGrant(g arbiter.Grant) *packet.Packet {
+	p := s.bufs[g.In].Pop(g.Out)
+	if p == nil {
+		panic(fmt.Sprintf("sw: grant %+v does not match buffer state", g))
+	}
+	return p
+}
+
+// Offer presents packet p (already routed: p.OutPort set) to input port
+// in. Under Discarding, a packet that does not fit is dropped and Offer
+// reports accepted=false. Under Blocking, Offer also reports false but the
+// caller is expected to retain the packet upstream.
+func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
+	b := s.bufs[in]
+	if !b.CanAccept(p) {
+		return false
+	}
+	if err := b.Accept(p); err != nil {
+		// CanAccept said yes; Accept can only fail on a routing bug.
+		panic(fmt.Sprintf("sw: accept after CanAccept: %v", err))
+	}
+	return true
+}
+
+// CanAcceptAt reports whether input in could take p right now. Upstream
+// switches use this as their block probe under the blocking protocol.
+func (s *Switch) CanAcceptAt(in int, p *packet.Packet) bool {
+	return s.bufs[in].CanAccept(p)
+}

@@ -1,0 +1,112 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"damq/internal/rng"
+)
+
+func TestBurstyValidation(t *testing.T) {
+	if _, err := NewBursty(0, 0.5, 4, rng.New(1)); err == nil {
+		t.Error("accepted zero destinations")
+	}
+	if _, err := NewBursty(4, 1.5, 4, rng.New(1)); err == nil {
+		t.Error("accepted load > 1")
+	}
+	if _, err := NewBursty(4, 0.5, 0.5, rng.New(1)); err == nil {
+		t.Error("accepted mean burst < 1")
+	}
+}
+
+func TestBurstyOfferedLoadMatches(t *testing.T) {
+	for _, load := range []float64{0.2, 0.5, 0.8} {
+		b, err := NewBursty(64, load, 4, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const cycles = 200000
+		born := 0
+		for c := 0; c < cycles; c++ {
+			if _, _, ok := b.Generate(0); ok {
+				born++
+			}
+		}
+		rate := float64(born) / cycles
+		if math.Abs(rate-load) > 0.02 {
+			t.Fatalf("load %v: measured rate %v", load, rate)
+		}
+	}
+}
+
+func TestBurstyPacketsShareDestinationWithinMessage(t *testing.T) {
+	b, err := NewBursty(64, 0.9, 8, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect runs of consecutive packets; within a run started together
+	// the destination must be constant until the message ends. We detect
+	// message boundaries via the internal counter.
+	prevDest := -1
+	inMsg := false
+	for c := 0; c < 10000; c++ {
+		before := b.remaining[0]
+		dest, _, ok := b.Generate(0)
+		if !ok {
+			inMsg = false
+			continue
+		}
+		if inMsg && before > 0 && dest != prevDest {
+			t.Fatalf("destination changed mid-message: %d -> %d", prevDest, dest)
+		}
+		prevDest = dest
+		inMsg = b.remaining[0] > 0
+	}
+}
+
+func TestBurstyMeanBurstLength(t *testing.T) {
+	b, err := NewBursty(64, 0.5, 4, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure mean message length by counting maximal generation runs of
+	// the same message (remaining hits 0 at message end).
+	lengths := []int{}
+	cur := 0
+	for c := 0; c < 300000; c++ {
+		_, _, ok := b.Generate(0)
+		if ok {
+			cur++
+			if b.remaining[0] == 0 {
+				lengths = append(lengths, cur)
+				cur = 0
+			}
+		}
+	}
+	if len(lengths) == 0 {
+		t.Fatal("no messages completed")
+	}
+	sum := 0
+	for _, l := range lengths {
+		sum += l
+	}
+	mean := float64(sum) / float64(len(lengths))
+	if math.Abs(mean-4) > 0.2 {
+		t.Fatalf("mean burst length %v, want ~4", mean)
+	}
+}
+
+func TestBurstyZeroLoad(t *testing.T) {
+	b, err := NewBursty(4, 0, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 1000; c++ {
+		if _, _, ok := b.Generate(0); ok {
+			t.Fatal("zero load generated a packet")
+		}
+	}
+	if b.String() == "" {
+		t.Fatal("empty description")
+	}
+}

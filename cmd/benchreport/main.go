@@ -1,0 +1,166 @@
+// Command benchreport runs the repository's benchmarks and writes a
+// machine-readable snapshot, so allocation and speed regressions in the
+// simulator hot path show up as a diff in a committed JSON file rather
+// than an anecdote. BENCH_netsim.json at the repo root is the recorded
+// baseline; regenerate it after intentional performance work with:
+//
+//	go run ./cmd/benchreport -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket' -out BENCH_netsim.json
+//
+// Each benchmark is run -count times and the per-metric minimum is
+// recorded: minima are the stable statistic under machine noise (ns/op
+// can only be inflated by interference, never deflated; B/op and
+// allocs/op are deterministic and identical across runs).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded metrics.
+type Entry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"` // of the fastest run
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the snapshot file's schema.
+type Report struct {
+	Package    string  `json:"package"`
+	BenchRegex string  `json:"bench_regex"`
+	Count      int     `json:"count"`
+	GoVersion  string  `json:"go_version"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	bench := flag.String("bench", "BenchmarkNetworkCycle|BenchmarkChipNetworkPacket",
+		"regexp passed to go test -bench")
+	count := flag.Int("count", 3, "runs per benchmark; the minimum of each metric is recorded")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+
+	entries, err := parse(string(raw))
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q in %s", *bench, *pkg))
+	}
+
+	rep := Report{
+		Package:    *pkg,
+		BenchRegex: *bench,
+		Count:      *count,
+		GoVersion:  goVersion(),
+		Benchmarks: entries,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *out)
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   1234   56789 ns/op   42 B/op   7 allocs/op
+//
+// and folds repeated runs of one benchmark into per-metric minima.
+func parse(out string) ([]Entry, error) {
+	byName := map[string]*Entry{}
+	var order []string
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so snapshots diff cleanly across
+		// machines.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", sc.Text())
+		}
+		e, ok := byName[name]
+		if !ok {
+			e = &Entry{Name: name, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+			byName[name] = e
+			order = append(order, name)
+		}
+		e.Runs++
+		// Metric fields come in (value, unit) pairs after the iteration
+		// count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q", sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if e.NsPerOp < 0 || v < e.NsPerOp {
+					e.NsPerOp = v
+					e.Iterations = iters
+				}
+			case "B/op":
+				if e.BytesPerOp < 0 || int64(v) < e.BytesPerOp {
+					e.BytesPerOp = int64(v)
+				}
+			case "allocs/op":
+				if e.AllocsPerOp < 0 || int64(v) < e.AllocsPerOp {
+					e.AllocsPerOp = int64(v)
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	entries := make([]Entry, 0, len(order))
+	for _, name := range order {
+		entries = append(entries, *byName[name])
+	}
+	return entries, nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -22,7 +22,8 @@ func main() {
 	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
 	skipMarkov := flag.Bool("skip-markov", false, "skip Table 2 (the slowest exact computation)")
 	jsonPath := flag.String("json", "", "also write the machine-readable report to this path")
-	reps := flag.Int("reps", 0, "replicate the saturation measurement across this many seeds (0 = skip)")
+	reps := flag.Int("reps", 0, "replicate the saturation measurement across this many seeds, run concurrently on -workers goroutines (0 = skip)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -32,6 +33,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
+	sc.Workers = *workers
 
 	section := func(title string) {
 		fmt.Println()
@@ -50,13 +52,13 @@ func main() {
 	var t2 *experiments.Table2Result
 	if !*skipMarkov {
 		section("Experiment E2 — Table 2: Markov analysis, 2x2 discarding switches")
-		t2, err = experiments.Table2(nil)
+		t2, err = experiments.Table2(nil, sc.Workers)
 		orDie(err)
 		fmt.Print(t2.Render())
 	}
 
 	section("Companion — 4x4 discarding switch, Monte-Carlo (Table 2 at real radix)")
-	s4, err := experiments.Switch4x4(sc.Measure*20, sc.Seed)
+	s4, err := experiments.Switch4x4(sc.Measure*20, sc.Seed, sc.Workers)
 	orDie(err)
 	fmt.Print(experiments.RenderSwitch4(s4))
 

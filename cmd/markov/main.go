@@ -24,10 +24,11 @@ func main() {
 	load := flag.Float64("load", 0.9, "traffic level in [0,1]")
 	simCycles := flag.Int64("sim", 0, "also cross-check the cell by Monte-Carlo for this many cycles")
 	seed := flag.Uint64("seed", 1988, "Monte-Carlo seed")
+	workers := flag.Int("workers", 0, "full table: max concurrent chain solves (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *kind == "" {
-		res, err := experiments.Table2(nil)
+		res, err := experiments.Table2(nil, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -38,6 +38,7 @@ func main() {
 	policy := flag.String("policy", "smart", "run: smart|dumb arbitration")
 	hot := flag.Float64("hot", 0, "run: hot-spot fraction (0 = uniform)")
 	seed := flag.Uint64("seed", 1988, "run: PRNG seed")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -49,6 +50,7 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	switch *exp {
 	case "table3":
@@ -113,7 +115,7 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderTail(rows))
 	case "switch4":
-		rows, err := experiments.Switch4x4(sc.Measure*20, sc.Seed)
+		rows, err := experiments.Switch4x4(sc.Measure*20, sc.Seed, sc.Workers)
 		orDie(err)
 		fmt.Print(experiments.RenderSwitch4(rows))
 	case "radix":

@@ -34,6 +34,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick|full")
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	seed := flag.Uint64("seed", 1988, "PRNG seed")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	grid := experiments.Grid{
@@ -84,6 +85,7 @@ func main() {
 		orDie(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	points, err := grid.Run(sc)
 	orDie(err)

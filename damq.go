@@ -208,9 +208,10 @@ var (
 // ReproduceTable1 measures chip-level cut-through turn-around (Table 1).
 func ReproduceTable1() (*experiments.Table1Result, error) { return experiments.Table1() }
 
-// ReproduceTable2 solves the full Markov table (Table 2).
+// ReproduceTable2 solves the full Markov table (Table 2), one chain per
+// worker goroutine (GOMAXPROCS workers).
 func ReproduceTable2() (*experiments.Table2Result, error) {
-	return experiments.Table2(nil)
+	return experiments.Table2(nil, 0)
 }
 
 // ReproduceTable3 runs the discarding-network experiment (Table 3).

@@ -88,6 +88,13 @@ type Arbiter struct {
 	outputs int
 	prio    int
 	stale   [][]int64 // [in][out] cycles the queue has waited with traffic
+
+	// Per-cycle scratch, allocated once: Arbitrate runs for every switch
+	// on every network cycle, so per-call slice allocations would dominate
+	// the simulator's heap profile.
+	outTaken []bool
+	granted  []bool
+	sent     []bool // flattened [in*outputs+out]
 }
 
 // New constructs an arbiter for a switch with the given port counts.
@@ -99,7 +106,12 @@ func New(policy Policy, inputs, outputs int) *Arbiter {
 	for i := range st {
 		st[i] = make([]int64, outputs)
 	}
-	return &Arbiter{policy: policy, inputs: inputs, outputs: outputs, stale: st}
+	return &Arbiter{
+		policy: policy, inputs: inputs, outputs: outputs, stale: st,
+		outTaken: make([]bool, outputs),
+		granted:  make([]bool, inputs),
+		sent:     make([]bool, inputs*outputs),
+	}
 }
 
 // Policy returns the arbitration policy in use.
@@ -127,13 +139,19 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 		panic(fmt.Sprintf("arbiter: view is %dx%d, arbiter is %dx%d", in, out, a.inputs, a.outputs))
 	}
 
-	outTaken := make([]bool, a.outputs)
-	granted := make([]bool, a.inputs) // whether the buffer transmitted at all
-	firstGranted := -1                // first input served, in examination order
-	sent := make([][]bool, a.inputs)  // (in, out) pairs granted this cycle
-	for i := range sent {
-		sent[i] = make([]bool, a.outputs)
+	outTaken := a.outTaken
+	granted := a.granted // whether the buffer transmitted at all
+	sent := a.sent       // (in, out) pairs granted this cycle, flattened
+	for i := range outTaken {
+		outTaken[i] = false
 	}
+	for i := range granted {
+		granted[i] = false
+	}
+	for i := range sent {
+		sent[i] = false
+	}
+	firstGranted := -1 // first input served, in examination order
 
 	for k := 0; k < a.inputs; k++ {
 		i := (a.prio + k) % a.inputs
@@ -153,7 +171,7 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 			}
 			outTaken[best] = true
 			granted[i] = true
-			sent[i][best] = true
+			sent[i*a.outputs+best] = true
 			if firstGranted == -1 {
 				firstGranted = i
 			}
@@ -166,7 +184,7 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 	// one of several waiting packets still made progress, so it resets.)
 	for i := 0; i < a.inputs; i++ {
 		for o := 0; o < a.outputs; o++ {
-			if v.QueueLen(i, o) > 0 && !sent[i][o] {
+			if v.QueueLen(i, o) > 0 && !sent[i*a.outputs+o] {
 				a.stale[i][o]++
 			} else {
 				a.stale[i][o] = 0

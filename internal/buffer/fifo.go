@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"damq/internal/packet"
+	"damq/internal/pktq"
 )
 
 // fifo is the control design: one queue, one read port, whole pool shared.
@@ -13,7 +14,7 @@ type fifo struct {
 	numOutputs int
 	capacity   int
 	used       int // slots occupied
-	q          []*packet.Packet
+	q          pktq.Queue
 }
 
 func newFIFO(numOutputs, capacity int) *fifo {
@@ -24,7 +25,7 @@ func (b *fifo) Kind() Kind            { return FIFO }
 func (b *fifo) NumOutputs() int       { return b.numOutputs }
 func (b *fifo) Capacity() int         { return b.capacity }
 func (b *fifo) Free() int             { return b.capacity - b.used }
-func (b *fifo) Len() int              { return len(b.q) }
+func (b *fifo) Len() int              { return b.q.Len() }
 func (b *fifo) MaxReadsPerCycle() int { return 1 }
 
 func (b *fifo) CanAccept(p *packet.Packet) bool {
@@ -39,22 +40,24 @@ func (b *fifo) Accept(p *packet.Packet) error {
 		return fmt.Errorf("fifo: %w (free %d, need %d)", ErrFull, b.Free(), p.Slots)
 	}
 	b.used += p.Slots
-	b.q = append(b.q, p)
+	b.q.PushBack(p)
 	return nil
 }
 
 func (b *fifo) QueueLen(out int) int {
-	if len(b.q) == 0 || b.q[0].OutPort != out {
+	head := b.q.Front()
+	if head == nil || head.OutPort != out {
 		return 0
 	}
-	return len(b.q)
+	return b.q.Len()
 }
 
 func (b *fifo) Head(out int) *packet.Packet {
-	if len(b.q) == 0 || b.q[0].OutPort != out {
+	head := b.q.Front()
+	if head == nil || head.OutPort != out {
 		return nil
 	}
-	return b.q[0]
+	return head
 }
 
 func (b *fifo) Pop(out int) *packet.Packet {
@@ -62,18 +65,12 @@ func (b *fifo) Pop(out int) *packet.Packet {
 	if p == nil {
 		return nil
 	}
-	b.q[0] = nil // allow GC of the slot
-	b.q = b.q[1:]
+	b.q.PopFront()
 	b.used -= p.Slots
-	// Reclaim backing array occasionally so a long run does not grow it
-	// without bound (slicing b.q[1:] leaks the front otherwise).
-	if len(b.q) == 0 {
-		b.q = nil
-	}
 	return p
 }
 
 func (b *fifo) Reset() {
-	b.q = nil
+	b.q.Reset()
 	b.used = 0
 }

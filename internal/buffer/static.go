@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"damq/internal/packet"
+	"damq/internal/pktq"
 )
 
 // static implements both statically allocated designs, SAMQ and SAFC.
@@ -26,7 +27,7 @@ type static struct {
 // staticQueue is one per-output FIFO with its own slot budget.
 type staticQueue struct {
 	used int
-	pkts []*packet.Packet
+	pkts pktq.Queue
 }
 
 func newStatic(kind Kind, numOutputs, capacity int) *static {
@@ -60,7 +61,7 @@ func (b *static) QueueFree(out int) int {
 func (b *static) Len() int {
 	n := 0
 	for i := range b.queues {
-		n += len(b.queues[i].pkts)
+		n += b.queues[i].pkts.Len()
 	}
 	return n
 }
@@ -89,30 +90,21 @@ func (b *static) Accept(p *packet.Packet) error {
 	}
 	q := &b.queues[p.OutPort]
 	q.used += p.Slots
-	q.pkts = append(q.pkts, p)
+	q.pkts.PushBack(p)
 	return nil
 }
 
-func (b *static) QueueLen(out int) int { return len(b.queues[out].pkts) }
+func (b *static) QueueLen(out int) int { return b.queues[out].pkts.Len() }
 
 func (b *static) Head(out int) *packet.Packet {
-	q := &b.queues[out]
-	if len(q.pkts) == 0 {
-		return nil
-	}
-	return q.pkts[0]
+	return b.queues[out].pkts.Front()
 }
 
 func (b *static) Pop(out int) *packet.Packet {
 	q := &b.queues[out]
-	if len(q.pkts) == 0 {
+	p := q.pkts.PopFront()
+	if p == nil {
 		return nil
-	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
-	if len(q.pkts) == 0 {
-		q.pkts = nil
 	}
 	q.used -= p.Slots
 	return p
@@ -120,6 +112,7 @@ func (b *static) Pop(out int) *packet.Packet {
 
 func (b *static) Reset() {
 	for i := range b.queues {
-		b.queues[i] = staticQueue{}
+		b.queues[i].pkts.Reset()
+		b.queues[i].used = 0
 	}
 }

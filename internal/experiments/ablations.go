@@ -36,25 +36,29 @@ type ConnectivityRow struct {
 // single read port is not the bottleneck once allocation is dynamic.
 func AblationConnectivity(sc Scale) ([]ConnectivityRow, error) {
 	kinds := []buffer.Kind{buffer.SAMQ, buffer.SAFC, buffer.DAMQ, buffer.DAFC}
-	var rows []ConnectivityRow
+	var specs []runSpec
 	for _, kind := range kinds {
-		var row ConnectivityRow
-		row.Kind = kind
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(0.5)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConnectivityRow
+	for i, kind := range kinds {
 		mr, err := markov2x2.Solve(kind, 4, 0.90)
 		if err != nil {
 			return nil, err
 		}
-		row.PDiscard = mr.PDiscard
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0), sc)
-		if err != nil {
-			return nil, err
-		}
-		row.SatThr = r.Throughput()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(0.5), sc); err != nil {
-			return nil, err
-		}
-		row.Lat50 = r.LatencyFromBorn.Mean()
-		rows = append(rows, row)
+		rows = append(rows, ConnectivityRow{
+			Kind:     kind,
+			PDiscard: mr.PDiscard,
+			SatThr:   results[2*i].Throughput(),
+			Lat50:    results[2*i+1].LatencyFromBorn.Mean(),
+		})
 	}
 	return rows, nil
 }
@@ -90,28 +94,29 @@ type ArbitrationRow struct {
 // AblationArbitration quantifies Table 3's "smart ≈ dumb" observation on
 // the blocking network across all four paper designs.
 func AblationArbitration(sc Scale) ([]ArbitrationRow, error) {
-	var rows []ArbitrationRow
+	var specs []runSpec
 	for _, kind := range KindOrder {
-		var row ArbitrationRow
-		row.Kind = kind
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0), sc)
-		if err != nil {
-			return nil, err
-		}
-		row.SmartSatThr = r.Throughput()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Dumb, 4, uniform(1.0), sc); err != nil {
-			return nil, err
-		}
-		row.DumbSatThr = r.Throughput()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(0.4), sc); err != nil {
-			return nil, err
-		}
-		row.SmartLat40 = r.LatencyFromBorn.Mean()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Dumb, 4, uniform(0.4), sc); err != nil {
-			return nil, err
-		}
-		row.DumbLat40 = r.LatencyFromBorn.Mean()
-		rows = append(rows, row)
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Dumb, 4, uniform(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(0.4)},
+			runSpec{kind, sw.Blocking, arbiter.Dumb, 4, uniform(0.4)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ArbitrationRow
+	for i, kind := range KindOrder {
+		r := results[4*i : 4*i+4]
+		rows = append(rows, ArbitrationRow{
+			Kind:        kind,
+			SmartSatThr: r[0].Throughput(),
+			DumbSatThr:  r[1].Throughput(),
+			SmartLat40:  r[2].LatencyFromBorn.Mean(),
+			DumbLat40:   r[3].LatencyFromBorn.Mean(),
+		})
 	}
 	return rows, nil
 }
@@ -149,30 +154,32 @@ type BurstRow struct {
 // blocking worsens.
 func AblationBurstiness(sc Scale) ([]BurstRow, error) {
 	const meanBurst = 4
-	var rows []BurstRow
+	burst := func(load float64) netsim.TrafficSpec {
+		return netsim.TrafficSpec{Kind: netsim.Bursty, Load: load, MeanBurst: meanBurst}
+	}
+	var specs []runSpec
 	for _, kind := range KindOrder {
-		var row BurstRow
-		row.Kind = kind
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(0.4), sc)
-		if err != nil {
-			return nil, err
-		}
-		row.UniformLat = r.LatencyFromBorn.Mean()
-		burst := netsim.TrafficSpec{Kind: netsim.Bursty, Load: 0.4, MeanBurst: meanBurst}
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, burst, sc); err != nil {
-			return nil, err
-		}
-		row.BurstLat = r.LatencyFromBorn.Mean()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0), sc); err != nil {
-			return nil, err
-		}
-		row.UniformSat = r.Throughput()
-		burst.Load = 1.0
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, burst, sc); err != nil {
-			return nil, err
-		}
-		row.BurstSat = r.Throughput()
-		rows = append(rows, row)
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(0.4)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, burst(0.4)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, burst(1.0)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BurstRow
+	for i, kind := range KindOrder {
+		r := results[4*i : 4*i+4]
+		rows = append(rows, BurstRow{
+			Kind:       kind,
+			UniformLat: r[0].LatencyFromBorn.Mean(),
+			BurstLat:   r[1].LatencyFromBorn.Mean(),
+			UniformSat: r[2].Throughput(),
+			BurstSat:   r[3].Throughput(),
+		})
 	}
 	return rows, nil
 }

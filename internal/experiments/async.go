@@ -6,6 +6,7 @@ import (
 
 	"damq/internal/buffer"
 	"damq/internal/eventsim"
+	"damq/internal/parallel"
 )
 
 // AsyncRow is one buffer kind's behaviour in the asynchronous
@@ -31,13 +32,29 @@ func asyncScale(sc Scale) (warmup, measure int64) {
 // per-hop virtual cut-through (4-cycle turn-around, Table 1's figure).
 func Async(sc Scale) ([]AsyncRow, error) {
 	warm, meas := asyncScale(sc)
-	run := func(kind buffer.Kind, load float64, minB, maxB int) (*eventsim.Result, error) {
+	kinds := []buffer.Kind{buffer.FIFO, buffer.DAMQ}
+	type asyncSpec struct {
+		kind       buffer.Kind
+		load       float64
+		minB, maxB int
+	}
+	var specs []asyncSpec
+	for _, kind := range kinds {
+		specs = append(specs,
+			asyncSpec{kind, 0.5, 8, 8},
+			asyncSpec{kind, 1.0, 8, 8},
+			asyncSpec{kind, 0.5, 1, 32},
+			asyncSpec{kind, 1.0, 1, 32},
+		)
+	}
+	results, err := parallel.Map(len(specs), sc.Workers, func(i int) (*eventsim.Result, error) {
+		s := specs[i]
 		sim, err := eventsim.New(eventsim.Config{
-			BufferKind: kind,
+			BufferKind: s.kind,
 			Capacity:   8,
-			MinBytes:   minB,
-			MaxBytes:   maxB,
-			Load:       load,
+			MinBytes:   s.minB,
+			MaxBytes:   s.maxB,
+			Load:       s.load,
 			Warmup:     warm,
 			Measure:    meas,
 			Seed:       sc.Seed,
@@ -46,29 +63,20 @@ func Async(sc Scale) ([]AsyncRow, error) {
 			return nil, err
 		}
 		return sim.Run(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var rows []AsyncRow
-	for _, kind := range []buffer.Kind{buffer.FIFO, buffer.DAMQ} {
-		var row AsyncRow
-		row.Kind = kind
-		r, err := run(kind, 0.5, 8, 8)
-		if err != nil {
-			return nil, err
-		}
-		row.FixedLat50 = r.Latency.Mean()
-		if r, err = run(kind, 1.0, 8, 8); err != nil {
-			return nil, err
-		}
-		row.FixedSatUtl = r.LinkUtilization
-		if r, err = run(kind, 0.5, 1, 32); err != nil {
-			return nil, err
-		}
-		row.VarLat50 = r.Latency.Mean()
-		if r, err = run(kind, 1.0, 1, 32); err != nil {
-			return nil, err
-		}
-		row.VarSatUtl = r.LinkUtilization
-		rows = append(rows, row)
+	for i, kind := range kinds {
+		r := results[4*i : 4*i+4]
+		rows = append(rows, AsyncRow{
+			Kind:        kind,
+			FixedLat50:  r[0].Latency.Mean(),
+			FixedSatUtl: r[1].LinkUtilization,
+			VarLat50:    r[2].Latency.Mean(),
+			VarSatUtl:   r[3].LinkUtilization,
+		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+// TestParallelDeterminism pins the parallel engine's core contract: the
+// rendered output of an experiment is byte-identical whether its points
+// run serially or fanned out across 8 workers. Every simulation point is
+// independently seeded and owns all of its state, and the pool returns
+// results in submission order, so worker count must never leak into the
+// numbers. A diff here means a point read shared mutable state (a shared
+// rng, a shared scratch buffer) — exactly the corruption this test exists
+// to catch before it silently skews a recorded table.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two quick-scale experiment sets")
+	}
+	render := func(workers int) string {
+		sc := tiny
+		sc.Workers = workers
+		t4, err := Table4(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: table4: %v", workers, err)
+		}
+		fig, err := Figure3([]buffer.Kind{buffer.FIFO, buffer.DAMQ}, 4,
+			[]float64{0.2, 0.5, 0.8}, sc)
+		if err != nil {
+			t.Fatalf("workers=%d: figure3: %v", workers, err)
+		}
+		return RenderLatencyRows("Table 4", t4) + RenderFigure3(fig)
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"damq/internal/comcobb"
 	"damq/internal/markov2x2"
 	"damq/internal/netsim"
+	"damq/internal/parallel"
 	"damq/internal/stats"
 	"damq/internal/sw"
 )
@@ -28,6 +29,12 @@ type Scale struct {
 	Warmup  int64
 	Measure int64
 	Seed    uint64
+	// Workers bounds how many simulation points run concurrently
+	// (0 = GOMAXPROCS). Every point is independently seeded and results
+	// are assembled in submission order, so the rendered tables are
+	// byte-identical at any worker count. Excluded from JSON reports for
+	// the same reason: the report must not depend on how it was computed.
+	Workers int `json:"-"`
 }
 
 // Full is the scale used for the recorded results.
@@ -84,25 +91,31 @@ func Table2Specs() []struct {
 	return specs
 }
 
-// Table2 solves every cell exactly.
-func Table2(loads []float64) (*Table2Result, error) {
+// Table2 solves every cell exactly, one row per worker at a time
+// (workers <= 0 means GOMAXPROCS). The solver is deterministic, so the
+// table is identical at any worker count.
+func Table2(loads []float64, workers int) (*Table2Result, error) {
 	if loads == nil {
 		loads = Table2Loads
 	}
-	res := &Table2Result{Loads: loads}
-	for _, spec := range Table2Specs() {
+	specs := Table2Specs()
+	rows, err := parallel.Map(len(specs), workers, func(i int) (Table2Row, error) {
+		spec := specs[i]
 		row := Table2Row{Kind: spec.Kind, Slots: spec.Slots}
 		for _, load := range loads {
 			r, err := markov2x2.Solve(spec.Kind, spec.Slots, load)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %v/%d@%v: %w", spec.Kind, spec.Slots, load, err)
+				return row, fmt.Errorf("table2 %v/%d@%v: %w", spec.Kind, spec.Slots, load, err)
 			}
 			row.PDiscard = append(row.PDiscard, r.PDiscard)
 			row.States = r.States
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table2Result{Loads: loads, Rows: rows}, nil
 }
 
 // Render formats the table in the paper's layout.
@@ -150,6 +163,26 @@ func netRun(kind buffer.Kind, proto sw.Protocol, policy arbiter.Policy,
 	return sim.Run(), nil
 }
 
+// runSpec names one independent simulation point of a sweep.
+type runSpec struct {
+	kind     buffer.Kind
+	proto    sw.Protocol
+	policy   arbiter.Policy
+	capacity int
+	traffic  netsim.TrafficSpec
+}
+
+// runAll fans the given simulation points out over sc.Workers goroutines
+// and returns their results in spec order. Every point builds its own
+// simulator from its own seed, so points share no mutable state; ordered
+// results keep every table byte-identical to the serial rendering.
+func runAll(specs []runSpec, sc Scale) ([]*netsim.Result, error) {
+	return parallel.Map(len(specs), sc.Workers, func(i int) (*netsim.Result, error) {
+		s := specs[i]
+		return netRun(s.kind, s.proto, s.policy, s.capacity, s.traffic, sc)
+	})
+}
+
 // uniform builds a uniform-traffic spec at the given load.
 func uniform(load float64) netsim.TrafficSpec {
 	return netsim.TrafficSpec{Kind: netsim.Uniform, Load: load}
@@ -178,31 +211,33 @@ type Table3Result struct {
 	Cells []Table3Cell
 }
 
-// Table3 runs the discarding-network experiment.
+// Table3 runs the discarding-network experiment: four independent
+// simulation points per buffer kind, all fanned out through the pool.
 func Table3(sc Scale) (*Table3Result, error) {
-	res := &Table3Result{}
+	var specs []runSpec
 	for _, kind := range KindOrder {
-		var c Table3Cell
-		c.Kind = kind
-		r, err := netRun(kind, sw.Discarding, arbiter.Smart, 4, uniform(0.25), sc)
-		if err != nil {
-			return nil, err
-		}
-		c.Smart25 = 100 * r.DiscardFraction()
-		if r, err = netRun(kind, sw.Discarding, arbiter.Smart, 4, uniform(0.50), sc); err != nil {
-			return nil, err
-		}
-		c.Smart50 = 100 * r.DiscardFraction()
-		if r, err = netRun(kind, sw.Discarding, arbiter.Dumb, 4, uniform(0.50), sc); err != nil {
-			return nil, err
-		}
-		c.Dumb50 = 100 * r.DiscardFraction()
-		if r, err = netRun(kind, sw.Discarding, arbiter.Smart, 4, uniform(1.0), sc); err != nil {
-			return nil, err
-		}
-		c.OverPct = 100 * r.DiscardFraction()
-		c.OverThr = r.Throughput()
-		res.Cells = append(res.Cells, c)
+		specs = append(specs,
+			runSpec{kind, sw.Discarding, arbiter.Smart, 4, uniform(0.25)},
+			runSpec{kind, sw.Discarding, arbiter.Smart, 4, uniform(0.50)},
+			runSpec{kind, sw.Discarding, arbiter.Dumb, 4, uniform(0.50)},
+			runSpec{kind, sw.Discarding, arbiter.Smart, 4, uniform(1.0)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{}
+	for i, kind := range KindOrder {
+		rs := results[4*i : 4*i+4]
+		res.Cells = append(res.Cells, Table3Cell{
+			Kind:    kind,
+			Smart25: 100 * rs[0].DiscardFraction(),
+			Smart50: 100 * rs[1].DiscardFraction(),
+			Dumb50:  100 * rs[2].DiscardFraction(),
+			OverPct: 100 * rs[3].DiscardFraction(),
+			OverThr: rs[3].Throughput(),
+		})
 	}
 	return res, nil
 }
@@ -233,30 +268,46 @@ type LatencyRow struct {
 	SatThr     float64   // delivered throughput at offered 1.0
 }
 
-// LatencyTable runs one row for each requested (kind, slots) pair.
+// LatencyTable runs one row for each requested (kind, slots) pair. Every
+// (row, load) cell plus each row's saturation point is an independent
+// simulation, so the whole table fans out through the pool at once.
 func LatencyTable(kinds []buffer.Kind, slotSizes []int, loads []float64, sc Scale) ([]LatencyRow, error) {
-	var rows []LatencyRow
+	type rowSpec struct {
+		kind  buffer.Kind
+		slots int
+	}
+	var rowSpecs []rowSpec
 	for _, kind := range kinds {
 		for _, slots := range slotSizes {
 			if (kind == buffer.SAMQ || kind == buffer.SAFC) && slots%4 != 0 {
 				continue // static designs need slots divisible by the radix
 			}
-			row := LatencyRow{Kind: kind, Slots: slots, Loads: loads}
-			for _, load := range loads {
-				r, err := netRun(kind, sw.Blocking, arbiter.Smart, slots, uniform(load), sc)
-				if err != nil {
-					return nil, err
-				}
-				row.Latency = append(row.Latency, r.LatencyFromBorn.Mean())
-			}
-			r, err := netRun(kind, sw.Blocking, arbiter.Smart, slots, uniform(1.0), sc)
-			if err != nil {
-				return nil, err
-			}
-			row.SatLatency = r.LatencyFromInjection.Mean()
-			row.SatThr = r.Throughput()
-			rows = append(rows, row)
+			rowSpecs = append(rowSpecs, rowSpec{kind, slots})
 		}
+	}
+	perRow := len(loads) + 1 // measured loads plus the saturation point
+	var specs []runSpec
+	for _, rs := range rowSpecs {
+		for _, load := range loads {
+			specs = append(specs, runSpec{rs.kind, sw.Blocking, arbiter.Smart, rs.slots, uniform(load)})
+		}
+		specs = append(specs, runSpec{rs.kind, sw.Blocking, arbiter.Smart, rs.slots, uniform(1.0)})
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LatencyRow
+	for i, rs := range rowSpecs {
+		cells := results[perRow*i : perRow*(i+1)]
+		row := LatencyRow{Kind: rs.kind, Slots: rs.slots, Loads: loads}
+		for _, r := range cells[:len(loads)] {
+			row.Latency = append(row.Latency, r.LatencyFromBorn.Mean())
+		}
+		sat := cells[len(loads)]
+		row.SatLatency = sat.LatencyFromInjection.Mean()
+		row.SatThr = sat.Throughput()
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -306,27 +357,31 @@ type Table6Row struct {
 	SatThr     float64
 }
 
-// Table6 runs the hot-spot experiment.
+// Table6 runs the hot-spot experiment: three independent points per
+// buffer kind, fanned out through the pool.
 func Table6(sc Scale) ([]Table6Row, error) {
-	var rows []Table6Row
+	var specs []runSpec
 	for _, kind := range KindOrder {
-		var row Table6Row
-		row.Kind = kind
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, hotspot(0.125), sc)
-		if err != nil {
-			return nil, err
-		}
-		row.Lat125 = r.LatencyFromBorn.Mean()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, hotspot(0.20), sc); err != nil {
-			return nil, err
-		}
-		row.Lat200 = r.LatencyFromBorn.Mean()
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 4, hotspot(1.0), sc); err != nil {
-			return nil, err
-		}
-		row.SatLatency = r.LatencyFromInjection.Mean()
-		row.SatThr = r.Throughput()
-		rows = append(rows, row)
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, hotspot(0.125)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, hotspot(0.20)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, hotspot(1.0)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table6Row
+	for i, kind := range KindOrder {
+		rs := results[3*i : 3*i+3]
+		rows = append(rows, Table6Row{
+			Kind:       kind,
+			Lat125:     rs[0].LatencyFromBorn.Mean(),
+			Lat200:     rs[1].LatencyFromBorn.Mean(),
+			SatLatency: rs[2].LatencyFromInjection.Mean(),
+			SatThr:     rs[2].Throughput(),
+		})
 	}
 	return rows, nil
 }
@@ -350,24 +405,32 @@ var Figure3Loads = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40,
 	0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.90, 1.0}
 
 // Figure3 sweeps offered load and returns one latency/throughput series
-// per buffer kind (blocking protocol, uniform traffic).
+// per buffer kind (blocking protocol, uniform traffic). Every (kind,
+// load) point fans out through the pool — for the default 18-load sweep
+// over two kinds that is 36 concurrent simulations.
 func Figure3(kinds []buffer.Kind, capacity int, loads []float64, sc Scale) ([]stats.Series, error) {
 	if loads == nil {
 		loads = Figure3Loads
 	}
-	var out []stats.Series
+	var specs []runSpec
 	for _, kind := range kinds {
-		series := stats.Series{Name: fmt.Sprintf("%v/%d", kind, capacity)}
 		for _, load := range loads {
-			r, err := netRun(kind, sw.Blocking, arbiter.Smart, capacity, uniform(load), sc)
-			if err != nil {
-				return nil, err
-			}
-			lat := r.LatencyFromBorn.Mean()
+			specs = append(specs, runSpec{kind, sw.Blocking, arbiter.Smart, capacity, uniform(load)})
+		}
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []stats.Series
+	for ki, kind := range kinds {
+		series := stats.Series{Name: fmt.Sprintf("%v/%d", kind, capacity)}
+		for li, load := range loads {
+			r := results[ki*len(loads)+li]
 			series.Add(stats.Point{
 				Offered:    load,
 				Throughput: r.Throughput(),
-				Latency:    lat,
+				Latency:    r.LatencyFromBorn.Mean(),
 			})
 		}
 		out = append(out, series)
@@ -476,34 +539,35 @@ type VarLenRow struct {
 // Section 2 anticipates ("packets may be rejected ... even though there
 // are some empty buffers"), but makes a latency table meaningless.
 func VarLen(sc Scale) ([]VarLenRow, error) {
+	kinds := []buffer.Kind{buffer.FIFO, buffer.DAMQ}
+	varOf := func(load float64) netsim.TrafficSpec {
+		t := uniform(load)
+		t.MinSlots, t.MaxSlots = 1, 4
+		return t
+	}
+	var specs []runSpec
+	for _, kind := range kinds {
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 8, uniform(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 8, varOf(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 8, uniform(0.5)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 8, varOf(0.5)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
 	var rows []VarLenRow
-	for _, kind := range []buffer.Kind{buffer.FIFO, buffer.DAMQ} {
-		var row VarLenRow
-		row.Kind = kind
-		fixed := uniform(1.0)
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 8, fixed, sc)
-		if err != nil {
-			return nil, err
-		}
-		row.FixedThr = r.Throughput()
-		varSpec := uniform(1.0)
-		varSpec.MinSlots, varSpec.MaxSlots = 1, 4
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 8, varSpec, sc); err != nil {
-			return nil, err
-		}
-		row.VarThr = r.Throughput()
-
-		fixed.Load = 0.5
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 8, fixed, sc); err != nil {
-			return nil, err
-		}
-		row.FixedLat50 = r.LatencyFromBorn.Mean()
-		varSpec.Load = 0.5
-		if r, err = netRun(kind, sw.Blocking, arbiter.Smart, 8, varSpec, sc); err != nil {
-			return nil, err
-		}
-		row.VarLat50 = r.LatencyFromBorn.Mean()
-		rows = append(rows, row)
+	for i, kind := range kinds {
+		r := results[4*i : 4*i+4]
+		rows = append(rows, VarLenRow{
+			Kind:       kind,
+			FixedThr:   r[0].Throughput(),
+			VarThr:     r[1].Throughput(),
+			FixedLat50: r[2].LatencyFromBorn.Mean(),
+			VarLat50:   r[3].LatencyFromBorn.Mean(),
+		})
 	}
 	return rows, nil
 }

@@ -13,7 +13,7 @@ var tiny = Scale{Warmup: 200, Measure: 1500, Seed: 3}
 
 func TestTable2SubsetMatchesPaperShape(t *testing.T) {
 	// Solve a cheap subset and verify the orderings the paper highlights.
-	res, err := Table2([]float64{0.75, 0.90})
+	res, err := Table2([]float64{0.75, 0.90}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

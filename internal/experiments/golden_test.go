@@ -21,7 +21,7 @@ func TestTable2Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Table2(nil)
+	res, err := Table2(nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,40 +41,45 @@ type GridPoint struct {
 	Backlog    float64     `json:"source_backlog"`
 }
 
-// Run executes every (kind, capacity, load) combination. Invalid
-// combinations (static buffers whose capacity is not divisible by the
-// radix) are skipped rather than failing the sweep.
+// Run executes every (kind, capacity, load) combination, fanning the
+// valid cells through the worker pool. Invalid combinations (static
+// buffers whose capacity is not divisible by the radix) are skipped
+// rather than failing the sweep.
 func (g Grid) Run(sc Scale) ([]GridPoint, error) {
-	var out []GridPoint
+	var specs []runSpec
 	for _, kind := range g.Kinds {
 		for _, cap := range g.Capacities {
 			if (kind == buffer.SAMQ || kind == buffer.SAFC) && cap%4 != 0 {
 				continue
 			}
 			for _, load := range g.Loads {
-				spec := netsim.TrafficSpec{
+				specs = append(specs, runSpec{kind, g.Protocol, g.Policy, cap, netsim.TrafficSpec{
 					Kind:        g.Traffic,
 					Load:        load,
 					HotFraction: g.HotFraction,
 					HotDest:     g.HotDest,
 					MeanBurst:   g.MeanBurst,
-				}
-				r, err := netRun(kind, g.Protocol, g.Policy, cap, spec, sc)
-				if err != nil {
-					return nil, fmt.Errorf("grid %v/%d@%v: %w", kind, cap, load, err)
-				}
-				out = append(out, GridPoint{
-					Kind:       kind,
-					Capacity:   cap,
-					Load:       load,
-					Throughput: r.Throughput(),
-					Latency:    r.LatencyFromBorn.Mean(),
-					LatencyP99: r.LatencyP(0.99),
-					Discarded:  r.DiscardFraction(),
-					Backlog:    r.SourceBacklog.Mean(),
-				})
+				}})
 			}
 		}
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, fmt.Errorf("grid sweep: %w", err)
+	}
+	out := make([]GridPoint, 0, len(specs))
+	for i, s := range specs {
+		r := results[i]
+		out = append(out, GridPoint{
+			Kind:       s.kind,
+			Capacity:   s.capacity,
+			Load:       s.traffic.Load,
+			Throughput: r.Throughput(),
+			Latency:    r.LatencyFromBorn.Mean(),
+			LatencyP99: r.LatencyP(0.99),
+			Discarded:  r.DiscardFraction(),
+			Backlog:    r.SourceBacklog.Mean(),
+		})
 	}
 	return out, nil
 }

@@ -38,7 +38,7 @@ func RunAll(sc Scale, includeMarkov bool) (*Report, error) {
 		return nil, fmt.Errorf("table1: %w", err)
 	}
 	if includeMarkov {
-		if rep.Table2, err = Table2(nil); err != nil {
+		if rep.Table2, err = Table2(nil, sc.Workers); err != nil {
 			return nil, fmt.Errorf("table2: %w", err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
 	"damq/internal/netsim"
+	"damq/internal/parallel"
 	"damq/internal/sw"
 )
 
@@ -28,39 +29,46 @@ type RadixRow struct {
 // networks of 64 inputs at radix 2, 4 and 8, one slot per output port at
 // every radix (capacity = radix) so per-port storage scales identically.
 func RadixSweep(sc Scale) ([]RadixRow, error) {
+	radixes := []int{2, 4, 8}
+	kinds := []buffer.Kind{buffer.FIFO, buffer.DAMQ}
+	// Radix is a netsim.Config field runSpec cannot express, so this sweep
+	// fans out through parallel.Map directly.
+	type satResult struct {
+		stages float64
+		thr    float64
+	}
+	results, err := parallel.Map(len(radixes)*len(kinds), sc.Workers, func(i int) (satResult, error) {
+		sim, err := netsim.New(netsim.Config{
+			Radix:         radixes[i/len(kinds)],
+			Inputs:        64,
+			BufferKind:    kinds[i%len(kinds)],
+			Capacity:      radixes[i/len(kinds)],
+			Policy:        arbiter.Smart,
+			Protocol:      sw.Blocking,
+			Traffic:       netsim.TrafficSpec{Kind: netsim.Uniform, Load: 1.0},
+			WarmupCycles:  sc.Warmup,
+			MeasureCycles: sc.Measure,
+			Seed:          sc.Seed,
+		})
+		if err != nil {
+			return satResult{}, err
+		}
+		res := sim.Run()
+		return satResult{stages: float64(sim.Topology().Stages()), thr: res.Throughput()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []RadixRow
-	for _, radix := range []int{2, 4, 8} {
-		var row RadixRow
-		row.Radix = radix
-		sat := func(kind buffer.Kind) (float64, error) {
-			sim, err := netsim.New(netsim.Config{
-				Radix:         radix,
-				Inputs:        64,
-				BufferKind:    kind,
-				Capacity:      radix,
-				Policy:        arbiter.Smart,
-				Protocol:      sw.Blocking,
-				Traffic:       netsim.TrafficSpec{Kind: netsim.Uniform, Load: 1.0},
-				WarmupCycles:  sc.Warmup,
-				MeasureCycles: sc.Measure,
-				Seed:          sc.Seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			res := sim.Run()
-			row.Stages = sim.Topology().Stages()
-			return res.Throughput(), nil
-		}
-		var err error
-		if row.FIFOSat, err = sat(buffer.FIFO); err != nil {
-			return nil, err
-		}
-		if row.DAMQSat, err = sat(buffer.DAMQ); err != nil {
-			return nil, err
-		}
-		row.Ratio = row.DAMQSat / row.FIFOSat
-		rows = append(rows, row)
+	for ri, radix := range radixes {
+		fifo, damq := results[ri*len(kinds)], results[ri*len(kinds)+1]
+		rows = append(rows, RadixRow{
+			Radix:   radix,
+			Stages:  int(fifo.stages),
+			FIFOSat: fifo.thr,
+			DAMQSat: damq.thr,
+			Ratio:   damq.thr / fifo.thr,
+		})
 	}
 	return rows, nil
 }

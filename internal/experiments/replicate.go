@@ -6,6 +6,7 @@ import (
 
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
+	"damq/internal/parallel"
 	"damq/internal/stats"
 	"damq/internal/sw"
 )
@@ -14,13 +15,21 @@ import (
 // it. The recorded tables are single-seed (deterministic, regenerable);
 // this utility quantifies how much the published cells would wobble under
 // reseeding — the error bars the original paper never printed.
-func Replicate(seeds []uint64, measure func(seed uint64) (float64, error)) (stats.Summary, error) {
+//
+// Seeds run concurrently on up to workers goroutines (<=0 means
+// GOMAXPROCS); measure must therefore be safe to call from multiple
+// goroutines, which every netRun-style measurement is because each run
+// builds its own simulator. Values enter the summary in seed order, so
+// the result is identical at any worker count.
+func Replicate(seeds []uint64, workers int, measure func(seed uint64) (float64, error)) (stats.Summary, error) {
+	vals, err := parallel.Map(len(seeds), workers, func(i int) (float64, error) {
+		return measure(seeds[i])
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
 	var sum stats.Summary
-	for _, seed := range seeds {
-		v, err := measure(seed)
-		if err != nil {
-			return stats.Summary{}, err
-		}
+	for _, v := range vals {
 		sum.Add(v)
 	}
 	return sum, nil
@@ -46,7 +55,7 @@ type CIRow struct {
 func SaturationCI(reps int, sc Scale) ([]CIRow, error) {
 	var rows []CIRow
 	for _, kind := range KindOrder {
-		sum, err := Replicate(Seeds(sc.Seed, reps), func(seed uint64) (float64, error) {
+		sum, err := Replicate(Seeds(sc.Seed, reps), sc.Workers, func(seed uint64) (float64, error) {
 			s := sc
 			s.Seed = seed
 			r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(1.0), s)

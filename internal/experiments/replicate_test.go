@@ -28,7 +28,7 @@ func TestSeeds(t *testing.T) {
 
 func TestReplicatePropagatesErrors(t *testing.T) {
 	wantErr := errors.New("boom")
-	_, err := Replicate(Seeds(1, 3), func(uint64) (float64, error) { return 0, wantErr })
+	_, err := Replicate(Seeds(1, 3), 0, func(uint64) (float64, error) { return 0, wantErr })
 	if !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v", err)
 	}

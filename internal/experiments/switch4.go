@@ -6,6 +6,7 @@ import (
 
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
+	"damq/internal/parallel"
 	"damq/internal/rng"
 	"damq/internal/sw"
 )
@@ -27,8 +28,10 @@ type Switch4Row struct {
 // Switch4Loads are the traffic levels reported.
 var Switch4Loads = []float64{0.50, 0.75, 0.90, 0.99}
 
-// Switch4x4 simulates standalone 4×4 discarding switches.
-func Switch4x4(cycles int64, seed uint64) ([]Switch4Row, error) {
+// Switch4x4 simulates standalone 4×4 discarding switches. Every
+// (kind, slots, load) cell runs on its own switch instance with its own
+// rng stream, so the 32 cells fan out through the pool independently.
+func Switch4x4(cycles int64, seed uint64, workers int) ([]Switch4Row, error) {
 	specs := []struct {
 		kind  buffer.Kind
 		slots int
@@ -38,23 +41,31 @@ func Switch4x4(cycles int64, seed uint64) ([]Switch4Row, error) {
 		{buffer.SAMQ, 4}, {buffer.SAMQ, 8},
 		{buffer.SAFC, 4}, {buffer.SAFC, 8},
 	}
-	var rows []Switch4Row
-	for _, spec := range specs {
-		row := Switch4Row{Kind: spec.kind, Slots: spec.slots}
-		for _, load := range Switch4Loads {
-			s, err := sw.New(sw.Config{
-				Ports:      4,
-				BufferKind: spec.kind,
-				Capacity:   spec.slots,
-				Policy:     arbiter.Smart,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res := s.RunDiscarding(load, cycles, rng.New(seed))
-			row.PDiscard = append(row.PDiscard, res.DiscardFraction())
+	nl := len(Switch4Loads)
+	cells, err := parallel.Map(len(specs)*nl, workers, func(i int) (float64, error) {
+		spec := specs[i/nl]
+		s, err := sw.New(sw.Config{
+			Ports:      4,
+			BufferKind: spec.kind,
+			Capacity:   spec.slots,
+			Policy:     arbiter.Smart,
+		})
+		if err != nil {
+			return 0, err
 		}
-		rows = append(rows, row)
+		res := s.RunDiscarding(Switch4Loads[i%nl], cycles, rng.New(seed))
+		return res.DiscardFraction(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Switch4Row
+	for si, spec := range specs {
+		rows = append(rows, Switch4Row{
+			Kind:     spec.kind,
+			Slots:    spec.slots,
+			PDiscard: cells[si*nl : si*nl+nl],
+		})
 	}
 	return rows, nil
 }
@@ -94,12 +105,17 @@ type TailRow struct {
 // TailLatency measures the latency distribution at the given load
 // (blocking, uniform, 4 slots).
 func TailLatency(load float64, sc Scale) ([]TailRow, error) {
-	var rows []TailRow
+	var specs []runSpec
 	for _, kind := range KindOrder {
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(load), sc)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(load)})
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TailRow
+	for i, kind := range KindOrder {
+		r := results[i]
 		rows = append(rows, TailRow{
 			Kind: kind,
 			Load: load,

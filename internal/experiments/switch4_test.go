@@ -8,7 +8,7 @@ import (
 )
 
 func TestSwitch4x4Ordering(t *testing.T) {
-	rows, err := Switch4x4(100_000, 9)
+	rows, err := Switch4x4(100_000, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

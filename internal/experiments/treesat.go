@@ -24,22 +24,25 @@ type TreeSatRow struct {
 
 // TreeSaturation measures the gradient for every buffer kind.
 func TreeSaturation(sc Scale) ([]TreeSatRow, error) {
-	var rows []TreeSatRow
+	var specs []runSpec
 	for _, kind := range KindOrder {
+		specs = append(specs,
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, hotspot(1.0)},
+			runSpec{kind, sw.Blocking, arbiter.Smart, 4, uniform(0.24)},
+		)
+	}
+	results, err := runAll(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TreeSatRow
+	for i, kind := range KindOrder {
 		var row TreeSatRow
 		row.Kind = kind
-		r, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, hotspot(1.0), sc)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range r.StageOccupancy {
+		for _, s := range results[2*i].StageOccupancy {
 			row.PerStage = append(row.PerStage, s.Mean())
 		}
-		u, err := netRun(kind, sw.Blocking, arbiter.Smart, 4, uniform(0.24), sc)
-		if err != nil {
-			return nil, err
-		}
-		if len(u.StageOccupancy) > 0 {
+		if u := results[2*i+1]; len(u.StageOccupancy) > 0 {
 			row.UniformS0 = u.StageOccupancy[0].Mean()
 		}
 		rows = append(rows, row)

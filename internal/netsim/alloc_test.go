@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/sw"
+)
+
+// TestStepSteadyStateAllocs pins the simulator's allocation diet: once a
+// run reaches steady state (scratch grown, free list populated, histogram
+// and occupancy summaries allocated), stepping the network must be
+// allocation-free up to rare amortized events — free-list growth when the
+// in-flight high-water mark rises, or a ring buffer doubling. Regressions
+// here (a closure recreated per cycle, a queue rebuilt per pop, arbiter
+// scratch reallocated) show up as allocations proportional to switch or
+// packet counts and fail the test loudly.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name     string
+		kind     buffer.Kind
+		protocol sw.Protocol
+		load     float64
+	}{
+		// No saturated blocking case: there the source backlog grows
+		// without bound, so the live packet set — and with it genuine
+		// allocation — must grow too. Sub-saturation runs reach a plateau
+		// and must then be allocation-free.
+		{"DAMQ blocking 0.5", buffer.DAMQ, sw.Blocking, 0.5},
+		{"DAMQ discarding saturated", buffer.DAMQ, sw.Discarding, 1.0},
+		{"FIFO discarding 0.5", buffer.FIFO, sw.Discarding, 0.5},
+		{"SAFC blocking 0.5", buffer.SAFC, sw.Blocking, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := New(Config{
+				BufferKind: tc.kind,
+				Capacity:   4,
+				Policy:     arbiter.Smart,
+				Protocol:   tc.protocol,
+				Traffic:    TrafficSpec{Kind: Uniform, Load: tc.load},
+				Seed:       7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := &Result{Config: sim.cfg}
+			// Reach steady state with measurement on, so the lazily
+			// allocated histogram and per-stage summaries exist and all
+			// scratch has grown to its high-water mark.
+			for i := 0; i < 2000; i++ {
+				sim.Step(res, true)
+			}
+			avg := testing.AllocsPerRun(500, func() {
+				sim.Step(res, true)
+			})
+			const limit = 0.05
+			if avg > limit {
+				t.Errorf("steady-state Step allocates %.3f allocs/op, want <= %v", avg, limit)
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"damq/internal/buffer"
 	"damq/internal/omega"
 	"damq/internal/packet"
+	"damq/internal/pktq"
 	"damq/internal/rng"
 	"damq/internal/stats"
 	"damq/internal/sw"
@@ -185,7 +186,7 @@ type Sim struct {
 	cfg     Config
 	top     *omega.Topology
 	stages  [][]*sw.Switch
-	srcQ    [][]*packet.Packet // blocking backlog per network input
+	srcQ    []pktq.Queue // blocking backlog per network input
 	pattern traffic.Pattern
 	lengths traffic.Lengths
 	alloc   packet.Alloc
@@ -196,6 +197,14 @@ type Sim struct {
 	warmupBoundary int64
 	// inFlight tracks buffered packets for conservation checks.
 	inFlight int64
+
+	// probes holds one blocking probe per (stage, switch), built once at
+	// construction: creating the closures inside Step would allocate
+	// stages*switches closures per cycle.
+	probes [][]sw.BlockProbe
+	// probePkt is scratch for the blocking probe's routed copy of a head
+	// packet; reusing one Sim-owned packet keeps the probe allocation-free.
+	probePkt packet.Packet
 
 	grantScratch []arbiter.Grant
 	moveScratch  []move
@@ -266,7 +275,22 @@ func New(cfg Config) (*Sim, error) {
 		}
 		s.stages = append(s.stages, row)
 	}
-	s.srcQ = make([][]*packet.Packet, cfg.Inputs)
+	s.srcQ = make([]pktq.Queue, cfg.Inputs)
+
+	// Pre-build the blocking probes and pre-size the per-cycle scratch:
+	// at most one grant per buffer read port per switch, and every grant
+	// produces one move.
+	s.probes = make([][]sw.BlockProbe, top.Stages())
+	maxMoves := 0
+	for st := range s.stages {
+		s.probes[st] = make([]sw.BlockProbe, len(s.stages[st]))
+		for si := range s.stages[st] {
+			s.probes[st][si] = s.blockProbe(st, si)
+			maxMoves += cfg.Radix
+		}
+	}
+	s.grantScratch = make([]arbiter.Grant, 0, cfg.Radix)
+	s.moveScratch = make([]move, 0, maxMoves)
 	return s, nil
 }
 
@@ -282,8 +306,8 @@ func (s *Sim) InFlight() int64 { return s.inFlight }
 // SourceBacklogLen returns the total packets waiting in source queues.
 func (s *Sim) SourceBacklogLen() int64 {
 	var n int64
-	for _, q := range s.srcQ {
-		n += int64(len(q))
+	for i := range s.srcQ {
+		n += int64(s.srcQ[i].Len())
 	}
 	return n
 }
@@ -298,9 +322,11 @@ func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
 	}
 	return func(out int, p *packet.Packet) bool {
 		nsw, nport := s.top.NextStage(si, out)
-		probe := *p
-		probe.OutPort = s.top.RouteDigit(p.Dest, st+1)
-		return !s.stages[st+1][nsw].CanAcceptAt(nport, &probe)
+		// Probe with a routed copy so p itself is not mutated; the copy
+		// lives in Sim-owned scratch to keep the probe allocation-free.
+		s.probePkt = *p
+		s.probePkt.OutPort = s.top.RouteDigit(p.Dest, st+1)
+		return !s.stages[st+1][nsw].CanAcceptAt(nport, &s.probePkt)
 	}
 }
 
@@ -313,7 +339,7 @@ func (s *Sim) Step(res *Result, measuring bool) {
 	s.moveScratch = s.moveScratch[:0]
 	for st := 0; st < nStages; st++ {
 		for si, swc := range s.stages[st] {
-			s.grantScratch = swc.Arbitrate(s.blockProbe(st, si), s.grantScratch[:0])
+			s.grantScratch = swc.Arbitrate(s.probes[st][si], s.grantScratch[:0])
 			for _, g := range s.grantScratch {
 				p := swc.PopGrant(g)
 				s.moveScratch = append(s.moveScratch, move{p: p, stage: st, swIdx: si, out: g.Out})
@@ -322,16 +348,20 @@ func (s *Sim) Step(res *Result, measuring bool) {
 	}
 
 	// Phase 2: deliveries and inter-stage transfers (pops already done).
-	for _, mv := range s.moveScratch {
+	for i := range s.moveScratch {
+		mv := &s.moveScratch[i]
 		if mv.stage == nStages-1 {
 			s.inFlight--
 			s.deliver(mv.p, res, measuring)
+			s.alloc.Recycle(mv.p)
+			mv.p = nil
 			continue
 		}
 		nsw, nport := s.top.NextStage(mv.swIdx, mv.out)
 		mv.p.OutPort = s.top.RouteDigit(mv.p.Dest, mv.stage+1)
 		next := s.stages[mv.stage+1][nsw]
 		if next.Offer(nport, mv.p) {
+			mv.p = nil
 			continue
 		}
 		switch s.cfg.Protocol {
@@ -340,6 +370,8 @@ func (s *Sim) Step(res *Result, measuring bool) {
 			if measuring {
 				res.DiscardedInNet++
 			}
+			s.alloc.Recycle(mv.p)
+			mv.p = nil
 		default:
 			// The blocking probe guaranteed admission; reaching here is a
 			// simulator bug, not a model outcome.
@@ -358,14 +390,9 @@ func (s *Sim) Step(res *Result, measuring bool) {
 		// Blocking: drain as much backlog as fits (at most one packet can
 		// enter the stage-0 buffer per cycle — the input link carries one
 		// packet per cycle).
-		if s.cfg.Protocol == sw.Blocking && len(s.srcQ[src]) > 0 {
-			head := s.srcQ[src][0]
-			if s.inject(head) {
-				s.srcQ[src][0] = nil
-				s.srcQ[src] = s.srcQ[src][1:]
-				if len(s.srcQ[src]) == 0 {
-					s.srcQ[src] = nil
-				}
+		if s.cfg.Protocol == sw.Blocking && s.srcQ[src].Len() > 0 {
+			if s.inject(s.srcQ[src].Front()) {
+				s.srcQ[src].PopFront()
 				if measuring {
 					res.Injected++
 				}
@@ -397,14 +424,17 @@ func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 	}
 	switch s.cfg.Protocol {
 	case sw.Blocking:
-		s.srcQ[p.Source] = append(s.srcQ[p.Source], p)
+		s.srcQ[p.Source].PushBack(p)
 	default: // Discarding: offer immediately, drop on refusal.
 		if s.inject(p) {
 			if measuring {
 				res.Injected++
 			}
-		} else if measuring {
-			res.DiscardedAtEntry++
+		} else {
+			if measuring {
+				res.DiscardedAtEntry++
+			}
+			s.alloc.Recycle(p)
 		}
 	}
 }

@@ -1,0 +1,118 @@
+// Package parallel provides the bounded worker pool the experiment layer
+// uses to fan independent simulation points out across CPU cores.
+//
+// Every sweep in internal/experiments is embarrassingly parallel: each
+// point is an independently seeded simulation (or an independent Markov
+// solve), so points can run in any order as long as results are assembled
+// in submission order. Map guarantees exactly that — results come back
+// indexed by job, so a parallel sweep renders byte-identically to the
+// serial one.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). After the first error no new jobs are
+// started; For returns the error with the lowest index among those
+// observed, matching what a serial loop would have surfaced if that job
+// alone failed. A panic in fn is re-raised on the calling goroutine.
+//
+// With workers == 1 (or n <= 1) fn runs on the calling goroutine with no
+// synchronization at all, so a single-worker run is exactly the serial
+// loop it replaced.
+func For(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		panicked any
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							mu.Unlock()
+							stopped.Store(true)
+						}
+					}()
+					return fn(i)
+				}()
+				if err != nil {
+					mu.Lock()
+					if firstIdx == -1 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// Map runs fn(i) for every i in [0, n) through For and returns the
+// results in index order. On error the partial results are discarded and
+// only the error is returned.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

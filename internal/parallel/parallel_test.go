@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	if err := For(n, 7, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := For(50, workers, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// With cancellation, job 23 may never run; whichever errors are
+		// observed, the lowest-indexed one wins, and job 7 always runs
+		// before job 23 can be the only error (indexes are issued in
+		// order).
+		if err.Error() != "job 7 failed" {
+			t.Errorf("workers=%d: got %q, want job 7's error", workers, err)
+		}
+	}
+}
+
+func TestForCancelsAfterError(t *testing.T) {
+	var started atomic.Int32
+	sentinel := errors.New("boom")
+	err := For(10_000, 2, func(i int) error {
+		started.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 100 {
+		t.Errorf("started %d jobs after first error; cancellation is not working", n)
+	}
+}
+
+func TestForPropagatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("workers=%d: expected panic to propagate", workers)
+				}
+			}()
+			_ = For(8, workers, func(i int) error {
+				if i == 3 {
+					panic("simulated simulator bug")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (string, error) { return "x", nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}

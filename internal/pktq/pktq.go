@@ -1,0 +1,86 @@
+// Package pktq provides a ring-buffer FIFO of packets for simulator hot
+// paths.
+//
+// The naive Go idiom for a queue — append to push, q = q[1:] to pop, nil
+// when empty — reallocates the backing array every time the queue drains
+// and refills, which in the network simulators happens once per packet per
+// buffer. At a few hundred switch buffers times tens of thousands of
+// cycles per run that idiom dominates the allocation profile. Queue keeps
+// one backing array per queue for the lifetime of the simulation, growing
+// it (by doubling, to a power of two) only when the high-water mark rises.
+package pktq
+
+import "damq/internal/packet"
+
+// Queue is a FIFO of packet pointers backed by a reusable ring buffer.
+// The zero value is an empty queue ready for use.
+type Queue struct {
+	buf  []*packet.Packet // len(buf) is always 0 or a power of two
+	head int
+	n    int
+}
+
+// Len reports the number of queued packets.
+func (q *Queue) Len() int { return q.n }
+
+// Front returns the oldest packet without removing it, or nil if empty.
+func (q *Queue) Front() *packet.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// At returns the i-th packet from the front (0 = Front) without removing
+// it. It panics if i is out of range, like a slice index would.
+func (q *Queue) At(i int) *packet.Packet {
+	if i < 0 || i >= q.n {
+		panic("pktq: index out of range")
+	}
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// PushBack appends p to the queue.
+func (q *Queue) PushBack(p *packet.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
+}
+
+// PopFront removes and returns the oldest packet, or nil if empty.
+func (q *Queue) PopFront() *packet.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference for reuse/GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return p
+}
+
+// Reset empties the queue, releasing packet references but keeping the
+// backing array for reuse.
+func (q *Queue) Reset() {
+	for q.n > 0 {
+		q.PopFront()
+	}
+	q.head = 0
+}
+
+// grow doubles the backing array (minimum 8 slots) and re-bases the ring
+// so the oldest packet sits at index 0.
+func (q *Queue) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]*packet.Packet, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}

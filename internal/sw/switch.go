@@ -62,6 +62,9 @@ type Switch struct {
 	cfg  Config
 	bufs []buffer.Buffer
 	arb  *arbiter.Arbiter
+	// v is the reusable arbiter view: constructing it per Arbitrate call
+	// would heap-allocate one adapter per switch per network cycle.
+	v view
 }
 
 // New builds a switch. It returns an error for invalid buffer configs
@@ -134,12 +137,12 @@ type view struct {
 	probe BlockProbe
 }
 
-func (v view) Ports() (int, int)     { return v.s.cfg.Ports, v.s.cfg.Ports }
-func (v view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
-func (v view) HasHead(i, o int) bool { return v.s.bufs[i].Head(o) != nil }
-func (v view) MaxReads(i int) int    { return v.s.bufs[i].MaxReadsPerCycle() }
+func (v *view) Ports() (int, int)     { return v.s.cfg.Ports, v.s.cfg.Ports }
+func (v *view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
+func (v *view) HasHead(i, o int) bool { return v.s.bufs[i].Head(o) != nil }
+func (v *view) MaxReads(i int) int    { return v.s.bufs[i].MaxReadsPerCycle() }
 
-func (v view) Blocked(i, o int) bool {
+func (v *view) Blocked(i, o int) bool {
 	if v.probe == nil {
 		return false
 	}
@@ -153,7 +156,11 @@ func (v view) Blocked(i, o int) bool {
 // Arbitrate computes this cycle's matching. grants is reused storage
 // (pass nil to allocate).
 func (s *Switch) Arbitrate(probe BlockProbe, grants []arbiter.Grant) []arbiter.Grant {
-	return s.arb.Arbitrate(view{s: s, probe: probe}, grants)
+	s.v.s = s
+	s.v.probe = probe
+	grants = s.arb.Arbitrate(&s.v, grants)
+	s.v.probe = nil // do not retain the probe between cycles
+	return grants
 }
 
 // PopGrant removes and returns the packet named by a grant from Arbitrate.

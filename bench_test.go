@@ -156,24 +156,33 @@ func BenchmarkChipNetworkPacket(b *testing.B) {
 	}
 }
 
-// BenchmarkNetworkCycle measures the simulator's raw speed: one network
-// cycle of a 64×64 DAMQ Omega network at 0.5 load.
-func BenchmarkNetworkCycle(b *testing.B) {
+// benchNetworkCycle measures the simulator's raw speed: one network cycle
+// of a 64×64 DAMQ Omega network at the given load.
+func benchNetworkCycle(b *testing.B, load float64) {
 	sim, err := damq.NewNetwork(damq.NetworkConfig{
 		BufferKind: damq.DAMQ,
 		Capacity:   4,
 		Policy:     damq.SmartArbitration,
 		Protocol:   damq.Blocking,
-		Traffic:    damq.TrafficSpec{Kind: damq.UniformTraffic, Load: 0.5},
+		Traffic:    damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load},
 		Seed:       1,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	res := &damq.NetworkResult{}
+	res := sim.NewResult()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step(res, true)
 	}
 }
+
+// BenchmarkNetworkCycle is the dense case: 0.5 load keeps most switches
+// occupied, so it measures the arbitration and delivery machinery itself.
+func BenchmarkNetworkCycle(b *testing.B) { benchNetworkCycle(b, 0.5) }
+
+// BenchmarkNetworkCycleLowLoad is the sparse case: at 0.2 load most
+// switches are empty most cycles, so it measures how well the active-set
+// core avoids paying for idle switches.
+func BenchmarkNetworkCycleLowLoad(b *testing.B) { benchNetworkCycle(b, 0.2) }

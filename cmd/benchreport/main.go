@@ -10,6 +10,17 @@
 // recorded: minima are the stable statistic under machine noise (ns/op
 // can only be inflated by interference, never deflated; B/op and
 // allocs/op are deterministic and identical across runs).
+//
+// With -check, benchreport instead re-runs the baseline's benchmarks and
+// fails (exit 1) when any of them regressed:
+//
+//	go run ./cmd/benchreport -check -tol 0.25
+//
+// allocs/op is an exact gate — it is machine-independent, so any increase
+// is a real regression. ns/op and B/op get the -tol relative headroom
+// (B/op also a small absolute slack) to absorb machine-to-machine noise.
+// A benchmark that improved beyond the tolerance prints a note suggesting
+// a baseline refresh but does not fail the check.
 package main
 
 import (
@@ -49,20 +60,17 @@ func main() {
 		"regexp passed to go test -bench")
 	count := flag.Int("count", 3, "runs per benchmark; the minimum of each metric is recorded")
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	check := flag.Bool("check", false, "compare a fresh run against -baseline and exit 1 on regression")
+	baseline := flag.String("baseline", "BENCH_netsim.json", "baseline snapshot for -check")
+	tol := flag.Float64("tol", 0.25, "relative ns/op and B/op headroom for -check (0.25 = +25%)")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fatal(fmt.Errorf("go test -bench: %w", err))
+	if *check {
+		runCheck(*baseline, *tol)
+		return
 	}
 
-	entries, err := parse(string(raw))
-	if err != nil {
-		fatal(err)
-	}
+	entries := run(*pkg, *bench, *count)
 	if len(entries) == 0 {
 		fatal(fmt.Errorf("no benchmark lines matched %q in %s", *bench, *pkg))
 	}
@@ -87,6 +95,101 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(entries), *out)
+}
+
+// run executes the benchmarks and returns the folded entries.
+func run(pkg, bench string, count int) []Entry {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	entries, err := parse(string(raw))
+	if err != nil {
+		fatal(err)
+	}
+	return entries
+}
+
+// runCheck re-runs the baseline's benchmarks and fails on regression.
+func runCheck(baselinePath string, tol float64) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("read baseline: %w", err))
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse baseline %s: %w", baselinePath, err))
+	}
+	if len(base.Benchmarks) == 0 {
+		fatal(fmt.Errorf("baseline %s records no benchmarks", baselinePath))
+	}
+	fresh := run(base.Package, base.BenchRegex, base.Count)
+	problems, notes := compare(base.Benchmarks, fresh, tol)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s (tolerance %.0f%%)\n",
+			len(problems), baselinePath, tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), baselinePath)
+}
+
+// bytesSlack is the absolute B/op allowance on top of the relative
+// tolerance, so near-zero baselines (0 or 1 B/op) are not failed by a
+// few stray bytes of amortized growth.
+const bytesSlack = 64
+
+// compare checks every baseline entry against the fresh run. It returns
+// regressions (which fail the check) and notes (improvements worth a
+// baseline refresh). allocs/op is exact: it does not vary with machine
+// speed, so any increase is a real change in the code's behavior.
+func compare(base, fresh []Entry, tol float64) (problems, notes []string) {
+	byName := map[string]Entry{}
+	for _, e := range fresh {
+		byName[e.Name] = e
+	}
+	for _, b := range base {
+		f, ok := byName[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: benchmark missing from fresh run", b.Name))
+			continue
+		}
+		if b.NsPerOp >= 0 {
+			limit := b.NsPerOp * (1 + tol)
+			switch {
+			case f.NsPerOp > limit:
+				problems = append(problems, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+					b.Name, f.NsPerOp, b.NsPerOp, tol*100))
+			case f.NsPerOp < b.NsPerOp*(1-tol):
+				notes = append(notes, fmt.Sprintf("%s: %.0f ns/op is >%.0f%% faster than baseline %.0f ns/op; consider refreshing the baseline",
+					b.Name, f.NsPerOp, tol*100, b.NsPerOp))
+			}
+		}
+		if b.AllocsPerOp >= 0 && f.AllocsPerOp > b.AllocsPerOp {
+			problems = append(problems, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d allocs/op",
+				b.Name, f.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.AllocsPerOp >= 0 && f.AllocsPerOp < b.AllocsPerOp {
+			notes = append(notes, fmt.Sprintf("%s: %d allocs/op improved on baseline %d allocs/op; consider refreshing the baseline",
+				b.Name, f.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.BytesPerOp >= 0 {
+			limit := float64(b.BytesPerOp)*(1+tol) + bytesSlack
+			if float64(f.BytesPerOp) > limit {
+				problems = append(problems, fmt.Sprintf("%s: %d B/op exceeds baseline %d B/op beyond tolerance",
+					b.Name, f.BytesPerOp, b.BytesPerOp))
+			}
+		}
+	}
+	return problems, notes
 }
 
 // parse extracts benchmark result lines of the form

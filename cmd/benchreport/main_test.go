@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFoldsMinima(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkNetworkCycle-8   	  100	 30000 ns/op	  10 B/op	  2 allocs/op
+BenchmarkNetworkCycle-8   	  120	 25000 ns/op	  12 B/op	  2 allocs/op
+BenchmarkChipNetworkPacket-8	   50	 40000 ns/op	 800 B/op	 32 allocs/op
+PASS
+`
+	entries, err := parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	// Entries are sorted by name.
+	chip, cyc := entries[0], entries[1]
+	if chip.Name != "BenchmarkChipNetworkPacket" || cyc.Name != "BenchmarkNetworkCycle" {
+		t.Fatalf("entry order: %q, %q", chip.Name, cyc.Name)
+	}
+	if cyc.Runs != 2 || cyc.NsPerOp != 25000 || cyc.BytesPerOp != 10 || cyc.AllocsPerOp != 2 {
+		t.Errorf("NetworkCycle folded to %+v, want per-metric minima", cyc)
+	}
+	if cyc.Iterations != 120 {
+		t.Errorf("Iterations = %d, want the fastest run's 120", cyc.Iterations)
+	}
+	if chip.Runs != 1 || chip.NsPerOp != 40000 {
+		t.Errorf("ChipNetworkPacket folded to %+v", chip)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse("BenchmarkX-8  notanumber  5 ns/op"); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := parse("BenchmarkX-8  10  bad ns/op"); err == nil {
+		t.Error("bad metric value accepted")
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 4}}
+	fresh := []Entry{{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 110, AllocsPerOp: 4}}
+	problems, notes := compare(base, fresh, 0.25)
+	if len(problems) != 0 {
+		t.Errorf("within-tolerance run flagged: %v", problems)
+	}
+	if len(notes) != 0 {
+		t.Errorf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0}}
+	fresh := []Entry{{Name: "BenchmarkA", NsPerOp: 1300, BytesPerOp: 0, AllocsPerOp: 0}}
+	problems, _ := compare(base, fresh, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op") {
+		t.Errorf("ns/op regression not caught: %v", problems)
+	}
+}
+
+func TestCompareAllocsExact(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 2}}
+	// One extra alloc must fail even though it is within any relative
+	// tolerance — allocs/op is machine-independent.
+	fresh := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 3}}
+	problems, _ := compare(base, fresh, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op") {
+		t.Errorf("allocs/op regression not caught: %v", problems)
+	}
+}
+
+func TestCompareBytesSlackForTinyBaselines(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1, AllocsPerOp: 0}}
+	// 40 B/op over a 1 B/op baseline is within the absolute slack.
+	fresh := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 40, AllocsPerOp: 0}}
+	problems, _ := compare(base, fresh, 0.25)
+	if len(problems) != 0 {
+		t.Errorf("tiny-baseline bytes jitter flagged: %v", problems)
+	}
+	fresh[0].BytesPerOp = 200
+	problems, _ = compare(base, fresh, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "B/op") {
+		t.Errorf("real B/op regression not caught: %v", problems)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkGone", NsPerOp: 1000}}
+	problems, _ := compare(base, nil, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Errorf("missing benchmark not caught: %v", problems)
+	}
+}
+
+func TestCompareImprovementIsNoteNotFailure(t *testing.T) {
+	base := []Entry{{Name: "BenchmarkA", NsPerOp: 2000, BytesPerOp: 100, AllocsPerOp: 8}}
+	fresh := []Entry{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10, AllocsPerOp: 2}}
+	problems, notes := compare(base, fresh, 0.25)
+	if len(problems) != 0 {
+		t.Errorf("improvement flagged as regression: %v", problems)
+	}
+	if len(notes) == 0 {
+		t.Error("large improvement produced no baseline-refresh note")
+	}
+}

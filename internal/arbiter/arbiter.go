@@ -56,20 +56,22 @@ func ParsePolicy(s string) (Policy, error) {
 
 // View is what the arbiter can see of the switch each cycle: the state of
 // every (input buffer, output queue) pair. Implementations are provided by
-// the switch model.
+// the switch model. A queue with QueueLen > 0 is understood to have a
+// deliverable head packet (FIFOs report 0 when the head is for a different
+// output), so QueueLen doubles as the head-availability test.
 type View interface {
 	// Ports returns the number of input buffers and output ports.
 	Ports() (inputs, outputs int)
+	// InputLen is the total packet count buffered at input in, across all
+	// of its queues. It must be O(1): the arbiter uses it to skip whole
+	// input rows without touching their queues.
+	InputLen(in int) int
 	// QueueLen is the number of packets input in could eventually send to
 	// out (0 when a FIFO's head is for a different output).
 	QueueLen(in, out int) int
-	// HasHead reports whether input in has a packet deliverable to out
-	// this cycle.
-	HasHead(in, out int) bool
 	// Blocked reports whether the head packet of (in, out) cannot be
 	// forwarded because the downstream buffer refuses it. Only meaningful
-	// when HasHead is true; under a discarding protocol it is always
-	// false.
+	// when QueueLen > 0; under a discarding protocol it is always false.
 	Blocked(in, out int) bool
 	// MaxReads is the read-port limit of input in's buffer this cycle.
 	MaxReads(in int) int
@@ -94,7 +96,8 @@ type Arbiter struct {
 	// the simulator's heap profile.
 	outTaken []bool
 	granted  []bool
-	sent     []bool // flattened [in*outputs+out]
+	qlen     []int  // current input row's queue lengths
+	sentRow  []bool // current input row's granted outputs
 }
 
 // New constructs an arbiter for a switch with the given port counts.
@@ -110,12 +113,28 @@ func New(policy Policy, inputs, outputs int) *Arbiter {
 		policy: policy, inputs: inputs, outputs: outputs, stale: st,
 		outTaken: make([]bool, outputs),
 		granted:  make([]bool, inputs),
-		sent:     make([]bool, inputs*outputs),
+		qlen:     make([]int, outputs),
+		sentRow:  make([]bool, outputs),
 	}
 }
 
 // Policy returns the arbitration policy in use.
 func (a *Arbiter) Policy() Policy { return a.policy }
+
+// AdvanceIdle fast-forwards the arbiter through cycles rounds in which
+// every queue was empty, producing exactly the state Arbitrate would have
+// left behind. An empty round mutates only the priority pointer: under
+// Dumb it advances unconditionally, and under Smart an empty priority
+// holder forfeits its turn (no grants, so the pointer falls through to the
+// round-robin default); stale counts of empty queues are already zero and
+// stay zero. Network simulators use this to skip arbitration of empty
+// switches without perturbing later arbitration decisions.
+func (a *Arbiter) AdvanceIdle(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	a.prio = int((int64(a.prio) + cycles) % int64(a.inputs))
+}
 
 // Stale exposes the stale counter of queue (in, out) for tests.
 func (a *Arbiter) Stale(in, out int) int64 { return a.stale[in][out] }
@@ -141,28 +160,43 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 
 	outTaken := a.outTaken
 	granted := a.granted // whether the buffer transmitted at all
-	sent := a.sent       // (in, out) pairs granted this cycle, flattened
 	for i := range outTaken {
 		outTaken[i] = false
 	}
 	for i := range granted {
 		granted[i] = false
 	}
-	for i := range sent {
-		sent[i] = false
-	}
 	firstGranted := -1 // first input served, in examination order
+	qlen := a.qlen
+	sentRow := a.sentRow
 
 	for k := 0; k < a.inputs; k++ {
 		i := (a.prio + k) % a.inputs
+		if v.InputLen(i) == 0 {
+			// An empty input can receive no grant, and its stale counts
+			// are already zero (a queue only carries a nonzero stale
+			// count while it holds traffic — any pop routes through a
+			// grant, which resets the count), so the whole row is
+			// skipped without touching its queues.
+			continue
+		}
+		// Snapshot this row's queue lengths once. Arbitrate never pops,
+		// so they cannot change mid-call; the snapshot replaces the
+		// per-candidate HasHead/QueueLen view calls on the simulator's
+		// hottest path.
+		for o := 0; o < a.outputs; o++ {
+			qlen[o] = v.QueueLen(i, o)
+			sentRow[o] = false
+		}
+		stale := a.stale[i]
 		reads := v.MaxReads(i)
 		for r := 0; r < reads; r++ {
 			best := -1
 			for o := 0; o < a.outputs; o++ {
-				if outTaken[o] || !v.HasHead(i, o) || v.Blocked(i, o) {
+				if outTaken[o] || qlen[o] == 0 || v.Blocked(i, o) {
 					continue
 				}
-				if best == -1 || a.better(v, i, o, best) {
+				if best == -1 || better(a.policy, stale, qlen, o, best) {
 					best = o
 				}
 			}
@@ -171,23 +205,22 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 			}
 			outTaken[best] = true
 			granted[i] = true
-			sent[i*a.outputs+best] = true
+			sentRow[best] = true
 			if firstGranted == -1 {
 				firstGranted = i
 			}
 			dst = append(dst, Grant{In: i, Out: best})
 		}
-	}
-
-	// Update stale counts: queues holding traffic that did not transmit
-	// age by one; transmitting or empty queues reset. (A queue that sent
-	// one of several waiting packets still made progress, so it resets.)
-	for i := 0; i < a.inputs; i++ {
+		// Update this row's stale counts — final once its examination
+		// ends, since later rows cannot grant to it: queues holding
+		// traffic that did not transmit age by one; transmitting or
+		// empty queues reset. (A queue that sent one of several waiting
+		// packets still made progress, so it resets.)
 		for o := 0; o < a.outputs; o++ {
-			if v.QueueLen(i, o) > 0 && !sent[i*a.outputs+o] {
-				a.stale[i][o]++
+			if qlen[o] > 0 && !sentRow[o] {
+				stale[o]++
 			} else {
-				a.stale[i][o] = 0
+				stale[o] = 0
 			}
 		}
 	}
@@ -204,13 +237,7 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 		// and the pointer rotates to just past the first buffer actually
 		// served, so quiet inputs cannot pin the examination order and
 		// starve later buffers.
-		holderHadTraffic := false
-		for o := 0; o < a.outputs; o++ {
-			if v.QueueLen(a.prio, o) > 0 {
-				holderHadTraffic = true
-				break
-			}
-		}
+		holderHadTraffic := v.InputLen(a.prio) > 0
 		switch {
 		case holderHadTraffic && !granted[a.prio]:
 			// Blocked with traffic: turn not counted, priority retained.
@@ -223,12 +250,14 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 	return dst
 }
 
-// better reports whether output o beats the incumbent best for input i
-// under the active policy's within-buffer selection rule: stalest first
-// (smart only), then longest queue, ties keeping the lowest output.
-func (a *Arbiter) better(v View, i, o, best int) bool {
-	if a.policy == Smart && a.stale[i][o] != a.stale[i][best] {
-		return a.stale[i][o] > a.stale[i][best]
+// better reports whether output o beats the incumbent best within one
+// input row under the active policy's selection rule: stalest first
+// (smart only), then longest queue, ties keeping the lowest output. It
+// works on the row's snapshotted state so candidate comparison costs no
+// interface calls.
+func better(policy Policy, stale []int64, qlen []int, o, best int) bool {
+	if policy == Smart && stale[o] != stale[best] {
+		return stale[o] > stale[best]
 	}
-	return v.QueueLen(i, o) > v.QueueLen(i, best)
+	return qlen[o] > qlen[best]
 }

@@ -26,9 +26,15 @@ func newTableView(in, out int) *tableView {
 	return v
 }
 
-func (v *tableView) Ports() (int, int)      { return v.in, v.out }
-func (v *tableView) QueueLen(i, o int) int  { return v.queues[i][o] }
-func (v *tableView) HasHead(i, o int) bool  { return v.queues[i][o] > 0 }
+func (v *tableView) Ports() (int, int)     { return v.in, v.out }
+func (v *tableView) QueueLen(i, o int) int { return v.queues[i][o] }
+func (v *tableView) InputLen(i int) int {
+	total := 0
+	for _, n := range v.queues[i] {
+		total += n
+	}
+	return total
+}
 func (v *tableView) Blocked(i, o int) bool  { return v.blocked[i][o] }
 func (v *tableView) MaxReads(i int) int     { return v.maxReads[i] }
 func (v *tableView) set(i, o, n int)        { v.queues[i][o] = n }
@@ -355,5 +361,43 @@ func BenchmarkArbitrate4x4(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		grants = a.Arbitrate(v, grants[:0])
+	}
+}
+
+// TestAdvanceIdleMatchesEmptyArbitration pins the contract the active-set
+// network simulator depends on: AdvanceIdle(k) must leave the arbiter in
+// exactly the state k Arbitrate calls against an empty view would, for
+// both policies, so that skipping idle switches cannot perturb any later
+// arbitration decision.
+func TestAdvanceIdleMatchesEmptyArbitration(t *testing.T) {
+	for _, policy := range []Policy{Dumb, Smart} {
+		for _, k := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 101} {
+			stepped := New(policy, 4, 4)
+			jumped := New(policy, 4, 4)
+			empty := newTableView(4, 4)
+			for i := int64(0); i < k; i++ {
+				if g := stepped.Arbitrate(empty, nil); len(g) != 0 {
+					t.Fatalf("%v: empty view produced grants %v", policy, g)
+				}
+			}
+			jumped.AdvanceIdle(k)
+
+			// Same traffic must now yield the same grants from both.
+			busy := newTableView(4, 4)
+			busy.set(0, 1, 2)
+			busy.set(1, 1, 1)
+			busy.set(2, 3, 1)
+			busy.set(3, 2, 4)
+			gs := stepped.Arbitrate(busy, nil)
+			gj := jumped.Arbitrate(busy, nil)
+			if len(gs) != len(gj) {
+				t.Fatalf("%v k=%d: grant counts differ: %v vs %v", policy, k, gs, gj)
+			}
+			for i := range gs {
+				if gs[i] != gj[i] {
+					t.Fatalf("%v k=%d: grants differ: %v vs %v", policy, k, gs, gj)
+				}
+			}
+		}
 	}
 }

@@ -114,8 +114,12 @@ type Buffer interface {
 	// any output for dynamic designs; for static designs it is the total
 	// free count across queues (use CanAccept for admission decisions).
 	Free() int
-	// Len is the number of packets currently buffered.
+	// Len is the number of packets currently buffered. Implementations
+	// keep it O(1): network simulators read it on hot paths.
 	Len() int
+	// Empty reports whether the buffer holds no packets, in O(1). It is
+	// the emptiness hook the active-set network simulator polls.
+	Empty() bool
 	// CanAccept reports whether p (with OutPort set) fits right now.
 	CanAccept(p *packet.Packet) bool
 	// Accept stores p. It returns an error if CanAccept(p) is false or

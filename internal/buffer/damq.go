@@ -37,6 +37,7 @@ type DAMQBuffer struct {
 	freeHead  int32
 	freeTail  int32
 	freeCount int
+	pkts      int // total packets across queues, kept for O(1) Len/Empty
 
 	qHead  []int32 // per-output head register
 	qTail  []int32 // per-output tail register
@@ -69,13 +70,10 @@ func (b *DAMQBuffer) Capacity() int         { return b.capacity }
 func (b *DAMQBuffer) Free() int             { return b.freeCount }
 func (b *DAMQBuffer) MaxReadsPerCycle() int { return 1 }
 
-func (b *DAMQBuffer) Len() int {
-	n := 0
-	for _, c := range b.qPkts {
-		n += c
-	}
-	return n
-}
+func (b *DAMQBuffer) Len() int { return b.pkts }
+
+// Empty reports whether no packets are buffered, in O(1).
+func (b *DAMQBuffer) Empty() bool { return b.pkts == 0 }
 
 // QueueSlots reports the slots currently held by the queue for out, used
 // by tests and the occupancy ablation.
@@ -144,6 +142,7 @@ func (b *DAMQBuffer) Accept(p *packet.Packet) error {
 	b.qTail[out] = last
 	b.qPkts[out]++
 	b.qSlots[out] += p.Slots
+	b.pkts++
 	return nil
 }
 
@@ -176,6 +175,7 @@ func (b *DAMQBuffer) Pop(out int) *packet.Packet {
 	}
 	b.qPkts[out]--
 	b.qSlots[out] -= p.Slots
+	b.pkts--
 	return p
 }
 
@@ -199,6 +199,7 @@ func (b *DAMQBuffer) Reset() {
 		b.qPkts[i] = 0
 		b.qSlots[i] = 0
 	}
+	b.pkts = 0
 }
 
 // CheckInvariants verifies the structural health of the slot pool: every
@@ -286,6 +287,13 @@ func (b *DAMQBuffer) CheckInvariants() error {
 	}
 	if total != b.capacity {
 		return fmt.Errorf("damq: %d slots accounted for, capacity %d", total, b.capacity)
+	}
+	sum := 0
+	for _, c := range b.qPkts {
+		sum += c
+	}
+	if sum != b.pkts {
+		return fmt.Errorf("damq: queues hold %d packets, total counter says %d", sum, b.pkts)
 	}
 	return nil
 }

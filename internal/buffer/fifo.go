@@ -26,6 +26,7 @@ func (b *fifo) NumOutputs() int       { return b.numOutputs }
 func (b *fifo) Capacity() int         { return b.capacity }
 func (b *fifo) Free() int             { return b.capacity - b.used }
 func (b *fifo) Len() int              { return b.q.Len() }
+func (b *fifo) Empty() bool           { return b.q.Len() == 0 }
 func (b *fifo) MaxReadsPerCycle() int { return 1 }
 
 func (b *fifo) CanAccept(p *packet.Packet) bool {

@@ -21,6 +21,7 @@ type static struct {
 	kind       Kind
 	numOutputs int
 	perQueue   int // slots statically owned by each output's queue
+	pkts       int // total packets across queues, kept for O(1) Len/Empty
 	queues     []staticQueue
 }
 
@@ -58,13 +59,8 @@ func (b *static) QueueFree(out int) int {
 	return b.perQueue - b.queues[out].used
 }
 
-func (b *static) Len() int {
-	n := 0
-	for i := range b.queues {
-		n += b.queues[i].pkts.Len()
-	}
-	return n
-}
+func (b *static) Len() int    { return b.pkts }
+func (b *static) Empty() bool { return b.pkts == 0 }
 
 func (b *static) MaxReadsPerCycle() int {
 	if b.kind == SAFC {
@@ -91,6 +87,7 @@ func (b *static) Accept(p *packet.Packet) error {
 	q := &b.queues[p.OutPort]
 	q.used += p.Slots
 	q.pkts.PushBack(p)
+	b.pkts++
 	return nil
 }
 
@@ -107,6 +104,7 @@ func (b *static) Pop(out int) *packet.Packet {
 		return nil
 	}
 	q.used -= p.Slots
+	b.pkts--
 	return p
 }
 
@@ -115,4 +113,5 @@ func (b *static) Reset() {
 		b.queues[i].pkts.Reset()
 		b.queues[i].used = 0
 	}
+	b.pkts = 0
 }

@@ -1,0 +1,95 @@
+package comcobb
+
+import "testing"
+
+// TestChipSteadyStateAllocs pins the chip model's allocation diet: once
+// the packet-record pool is warm and the driver's script buffer has grown
+// to its high-water mark, streaming packets through a chip must be
+// allocation-free with tracing disabled. The test mirrors the netsim
+// steady-state test (internal/netsim/alloc_test.go) so both simulation
+// cores are held to the same standard; regressions here (a packet record
+// allocated per hop, a routing-table hash node per lookup, a queue
+// re-sliced per pop, a Sprintf on the trace path) show up as allocations
+// proportional to the packet rate and fail loudly.
+func TestChipSteadyStateAllocs(t *testing.T) {
+	chip := NewChip(Config{MINMode: true})
+	for in := 0; in < 4; in++ {
+		for h := 0; h < 4; h++ {
+			if err := chip.In(in).Router().Set(byte(h), Route{Out: h, NewHeader: byte(h)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drivers := [4]*Driver{}
+	for in := 0; in < 4; in++ {
+		drivers[in] = NewDriver(chip.InLink(in))
+	}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+
+	// One "round" sends a packet from every input to a distinct output and
+	// drains the chip: the drains bound the resident packet count, so after
+	// warmup every record comes from the pool.
+	round := func(i int) {
+		for in := 0; in < 4; in++ {
+			drivers[in].Queue(byte((in+i)%4), payload, 0)
+		}
+		for c := 0; c < 40; c++ {
+			for in := 0; in < 4; in++ {
+				drivers[in].Tick()
+			}
+			chip.Tick()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		round(i)
+	}
+
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		round(i)
+		i++
+	})
+	// The only remaining allocation source is the amortized doubling of the
+	// four output-sink captures, which grow for the lifetime of the chip.
+	const limit = 0.25
+	if avg > limit {
+		t.Errorf("steady-state round allocates %.3f allocs/op, want <= %v", avg, limit)
+	}
+}
+
+// TestNetworkSteadyStateAllocs is the same diet assertion at network
+// scale: a 2-chip pipeline forwarding continuation circuits, exercising
+// the inter-chip link, credit flow control, and the continuation decode
+// path with zero steady-state allocations.
+func TestNetworkSteadyStateAllocs(t *testing.T) {
+	a := NewChip(Config{})
+	b := NewChip(Config{})
+	// Route header 0x10 through a (in 0 → out 1), then through b
+	// (in 2 → out 3).
+	if err := a.In(0).Router().Set(0x10, Route{Out: 1, NewHeader: 0x11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.In(2).Router().Set(0x11, Route{Out: 3, NewHeader: 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	Connect(a, 1, b, 2)
+	net := NewNetwork(a, b)
+	drv := NewDriver(a.InLink(0))
+	payload := []byte{9, 8, 7, 6}
+
+	round := func() {
+		drv.Queue(0x10, payload, 0)
+		for c := 0; c < 40; c++ {
+			drv.Tick()
+			net.Tick()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(200, round)
+	const limit = 0.25
+	if avg > limit {
+		t.Errorf("steady-state round allocates %.3f allocs/op, want <= %v", avg, limit)
+	}
+}

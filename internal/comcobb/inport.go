@@ -15,10 +15,12 @@ const (
 // rxPacket is the bookkeeping for one packet resident in (or streaming
 // through) an input buffer. The chip keeps this state in the registers
 // associated with the packet's first slot; the model groups it in one
-// record holding the slot chain.
+// record holding the slot chain. Records are recycled through the input
+// port's free list, so a steady packet stream allocates nothing.
 type rxPacket struct {
-	slots     []int // slot indices in allocation order
-	dest      int   // output port (crossbar column)
+	slots     []int                  // slot indices in allocation order, backed by slotsArr
+	slotsArr  [MaxSlotsPerPacket]int // inline backing store: a packet never has more slots
+	dest      int                    // output port (crossbar column)
 	newHeader byte
 	length    int  // payload bytes, from the length register
 	written   int  // payload bytes stored so far
@@ -35,16 +37,55 @@ type rxPacket struct {
 // complete reports end-of-packet (the write counter's EOP signal).
 func (p *rxPacket) complete() bool { return p.written == p.length }
 
+// pktRing is a fixed-capacity FIFO of packet records. Every resident
+// packet owns at least one slot (the router allocates the first slot when
+// it enqueues the packet), so a ring sized to the port's slot count can
+// never overflow, and pushes and pops move no memory.
+type pktRing struct {
+	buf  []*rxPacket
+	head int
+	n    int
+}
+
+func (q *pktRing) len() int { return q.n }
+
+func (q *pktRing) front() *rxPacket {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *pktRing) push(p *rxPacket) {
+	if q.n == len(q.buf) {
+		panic("comcobb: destination queue overflow (flow control violated)")
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktRing) popFront() *rxPacket {
+	p := q.front()
+	if p == nil {
+		return nil
+	}
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
 // InPort models one input port: start-bit detector, synchronizer, router,
 // receiver FSM, slot RAM, and the five destination queues of the DAMQ
 // buffer (the queue for the port's own pair is never used).
 type InPort struct {
 	chip *Chip
 	id   int
+	name string // "in[id]", precomputed off the trace path
 
 	ram    *slotRAM
 	router *Router
-	queues [NumPorts][]*rxPacket // FIFO per destination
+	queues [NumPorts]pktRing // FIFO per destination
 
 	state rxState
 	// sync models the one-cycle synchronizer: the symbol sampled from the
@@ -56,15 +97,45 @@ type InPort struct {
 	// readBusy marks the buffer's single read port occupied by an output
 	// mid-transmission; the arbiter will not grant a second queue.
 	readBusy bool
+
+	// pktFree recycles rxPacket records (at most one live record per
+	// buffer slot, since every resident packet owns a slot).
+	pktFree []*rxPacket
 }
 
 func newInPort(chip *Chip, id, slots int, minMode bool) *InPort {
-	return &InPort{
-		chip:   chip,
-		id:     id,
-		ram:    newSlotRAM(slots),
-		router: newRouter(id, minMode),
+	in := &InPort{
+		chip:    chip,
+		id:      id,
+		name:    fmt.Sprintf("in[%d]", id),
+		ram:     newSlotRAM(slots),
+		router:  newRouter(id, minMode),
+		pktFree: make([]*rxPacket, 0, slots),
 	}
+	for d := range in.queues {
+		in.queues[d].buf = make([]*rxPacket, slots)
+	}
+	return in
+}
+
+// newPacket takes a recycled packet record, or allocates one while the
+// pool is still warming up.
+func (in *InPort) newPacket() *rxPacket {
+	if n := len(in.pktFree); n > 0 {
+		p := in.pktFree[n-1]
+		in.pktFree = in.pktFree[:n-1]
+		return p
+	}
+	p := &rxPacket{}
+	p.slots = p.slotsArr[:0]
+	return p
+}
+
+// recyclePacket clears a retired record and returns it to the pool.
+func (in *InPort) recyclePacket(p *rxPacket) {
+	*p = rxPacket{}
+	p.slots = p.slotsArr[:0]
+	in.pktFree = append(in.pktFree, p)
 }
 
 // Router exposes the port's virtual-circuit table for configuration.
@@ -75,24 +146,19 @@ func (in *InPort) FreeSlots() int { return in.ram.free() }
 
 // QueueLen reports packets queued for output dest (including one still
 // being received).
-func (in *InPort) QueueLen(dest int) int { return len(in.queues[dest]) }
+func (in *InPort) QueueLen(dest int) int { return in.queues[dest].len() }
 
 // head returns the first packet queued for dest, or nil.
 func (in *InPort) head(dest int) *rxPacket {
-	if len(in.queues[dest]) == 0 {
-		return nil
-	}
-	return in.queues[dest][0]
+	return in.queues[dest].front()
 }
 
 // pop removes the head packet for dest (on transmission grant).
 func (in *InPort) pop(dest int) *rxPacket {
-	p := in.head(dest)
+	p := in.queues[dest].popFront()
 	if p == nil {
 		panic(fmt.Sprintf("comcobb: pop from empty queue %d of input %d", dest, in.id))
 	}
-	in.queues[dest][0] = nil
-	in.queues[dest] = in.queues[dest][1:]
 	return p
 }
 
@@ -114,10 +180,12 @@ func (in *InPort) phase0(link *Link) {
 	case rxIdle, rxHeader:
 		if in.state == rxHeader && sym.valid {
 			// Header byte released by the synchronizer (cycle 2 phase 0).
-			in.cur = &rxPacket{}
+			in.cur = in.newPacket()
 			in.cur.pendingHeader = sym.b
 			in.state = rxLength
-			t.add(cyc, 0, in.unit(), "header byte %#02x latched into header register", sym.b)
+			if t != nil {
+				t.add(cyc, 0, in.name, "header byte %#02x latched into header register", sym.b)
+			}
 		}
 	case rxLength:
 		if !sym.valid {
@@ -129,7 +197,9 @@ func (in *InPort) phase0(link *Link) {
 		// Length byte released (cycle 3 phase 0), loaded into the router;
 		// it is latched into the write counter at phase 1.
 		in.cur.pendingLength = int(sym.b)
-		t.add(cyc, 0, in.unit(), "length byte %d loaded into router", sym.b)
+		if t != nil {
+			t.add(cyc, 0, in.name, "length byte %d loaded into router", sym.b)
+		}
 	case rxData:
 		if !sym.valid {
 			panic(fmt.Sprintf("comcobb: input %d payload underrun (%d/%d bytes)",
@@ -145,7 +215,9 @@ func (in *InPort) phase0(link *Link) {
 			panic(fmt.Sprintf("comcobb: input %d saw a start bit mid-packet", in.id))
 		}
 		in.state = rxHeader
-		t.add(cyc, 0, in.unit(), "start bit detected; synchronizer armed")
+		if t != nil {
+			t.add(cyc, 0, in.name, "start bit detected; synchronizer armed")
+		}
 	}
 }
 
@@ -165,7 +237,9 @@ func (in *InPort) writeData(b byte) {
 	in.ram.write(slot, off, b)
 	p.written++
 	if p.complete() {
-		in.chip.trace.add(in.chip.cycle, 0, in.unit(), "EOP: %d bytes in %d slot(s)", p.length, len(p.slots))
+		if t := in.chip.trace; t != nil {
+			t.add(in.chip.cycle, 0, in.name, "EOP: %d bytes in %d slot(s)", p.length, len(p.slots))
+		}
 		in.cur = nil
 		in.state = rxIdle
 	}
@@ -195,9 +269,11 @@ func (in *InPort) phase1() {
 		first := in.ram.alloc()
 		p.slots = append(p.slots, first)
 		in.ram.header[first] = route.NewHeader
-		in.queues[p.dest] = append(in.queues[p.dest], p)
-		t.add(cyc, 1, in.unit(), "routed to output %d, new header %#02x; first slot %d enqueued",
-			p.dest, p.newHeader, first)
+		in.queues[p.dest].push(p)
+		if t != nil {
+			t.add(cyc, 1, in.name, "routed to output %d, new header %#02x; first slot %d enqueued",
+				p.dest, p.newHeader, first)
+		}
 		if route.ContLength > 0 {
 			// Continuation packet: the router supplies the length; the
 			// next wire byte is already payload.
@@ -205,7 +281,9 @@ func (in *InPort) phase1() {
 			p.noLenByte = true
 			in.ram.length[first] = p.length
 			in.state = rxData
-			t.add(cyc, 1, in.unit(), "continuation circuit: length %d from router table", p.length)
+			if t != nil {
+				t.add(cyc, 1, in.name, "continuation circuit: length %d from router table", p.length)
+			}
 		}
 		return
 	}
@@ -218,16 +296,20 @@ func (in *InPort) phase1() {
 		p.length = p.pendingLength
 		in.ram.length[p.slots[0]] = p.length
 		in.state = rxData
-		t.add(cyc, 1, in.unit(), "length %d latched into write counter", p.length)
+		if t != nil {
+			t.add(cyc, 1, in.name, "length %d latched into write counter", p.length)
+		}
 	}
 }
 
 // releasePacketSlots returns a fully transmitted packet's slots to the
-// free list (the transmission manager FSM's cleanup).
+// free list (the transmission manager FSM's cleanup) and retires the
+// record itself to the pool. The caller must drop its reference.
 func (in *InPort) releasePacketSlots(p *rxPacket) {
 	for _, s := range p.slots {
 		in.ram.release(s)
 	}
+	in.recyclePacket(p)
 }
 
 // readByte fetches payload byte idx of p for the crossbar. The read must
@@ -238,5 +320,3 @@ func (in *InPort) readByte(p *rxPacket, idx int) byte {
 	}
 	return in.ram.read(p.slots[idx/SlotBytes], idx%SlotBytes)
 }
-
-func (in *InPort) unit() string { return fmt.Sprintf("in[%d]", in.id) }

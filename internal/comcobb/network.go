@@ -52,7 +52,8 @@ func NewDriver(link *Link) *Driver { return &Driver{link: link} }
 // Queue appends a first-of-message packet's wire symbols (plus a trailing
 // idle gap of gap cycles) to the script.
 func (d *Driver) Queue(header byte, data []byte, gap int) {
-	d.syms = append(d.syms, Wire(header, data)...)
+	d.compact()
+	d.syms = AppendWire(d.syms, header, data)
 	for i := 0; i < gap; i++ {
 		d.syms = append(d.syms, wireSymbol{})
 	}
@@ -61,9 +62,20 @@ func (d *Driver) Queue(header byte, data []byte, gap int) {
 // QueueCont appends a continuation packet (no length byte on the wire;
 // the receiving circuit's ContLength must equal len(data)).
 func (d *Driver) QueueCont(header byte, data []byte, gap int) {
-	d.syms = append(d.syms, WireCont(header, data)...)
+	d.compact()
+	d.syms = AppendWireCont(d.syms, header, data)
 	for i := 0; i < gap; i++ {
 		d.syms = append(d.syms, wireSymbol{})
+	}
+}
+
+// compact reclaims the script buffer once every queued symbol has been
+// driven, so a long-lived driver reuses one buffer instead of growing it
+// with every transmission.
+func (d *Driver) compact() {
+	if d.pos == len(d.syms) {
+		d.syms = d.syms[:0]
+		d.pos = 0
 	}
 }
 

@@ -9,6 +9,7 @@ import "fmt"
 type OutPort struct {
 	chip *Chip
 	id   int
+	name string // "out[id]", precomputed off the trace path
 	link *Link
 
 	active   bool
@@ -24,7 +25,7 @@ type OutPort struct {
 }
 
 func newOutPort(chip *Chip, id int, link *Link) *OutPort {
-	return &OutPort{chip: chip, id: id, link: link}
+	return &OutPort{chip: chip, id: id, name: fmt.Sprintf("out[%d]", id), link: link}
 }
 
 // Busy reports whether the port is mid-packet.
@@ -43,8 +44,10 @@ func (out *OutPort) grant(src *InPort) {
 	out.sent = 0
 	out.finished = false
 	src.readBusy = true
-	out.chip.trace.add(out.chip.cycle, 1, out.unit(),
-		"crossbar grant latched: input %d queue %d (len %d)", src.id, out.id, pkt.length)
+	if t := out.chip.trace; t != nil {
+		t.add(out.chip.cycle, 1, out.name,
+			"crossbar grant latched: input %d queue %d (len %d)", src.id, out.id, pkt.length)
+	}
 }
 
 // phase0 emits this cycle's symbol onto the wire.
@@ -63,20 +66,28 @@ func (out *OutPort) phase0() {
 	switch {
 	case out.sent == 0:
 		out.link.drive(wireSymbol{start: true})
-		t.add(cyc, 0, out.unit(), "start bit transmitted")
+		if t != nil {
+			t.add(cyc, 0, out.name, "start bit transmitted")
+		}
 	case out.sent == 1:
 		out.link.drive(wireSymbol{valid: true, b: out.pkt.newHeader})
-		t.add(cyc, 0, out.unit(), "header byte %#02x transmitted", out.pkt.newHeader)
+		if t != nil {
+			t.add(cyc, 0, out.name, "header byte %#02x transmitted", out.pkt.newHeader)
+		}
 	case out.sent == 2 && !out.pkt.noLenByte:
 		out.link.drive(wireSymbol{valid: true, b: byte(out.pkt.length)})
-		t.add(cyc, 0, out.unit(), "length byte %d transmitted; read counter loaded", out.pkt.length)
+		if t != nil {
+			t.add(cyc, 0, out.name, "length byte %d transmitted; read counter loaded", out.pkt.length)
+		}
 	default:
 		idx := out.sent - dataStart
 		b := out.src.readByte(out.pkt, idx)
 		out.link.drive(wireSymbol{valid: true, b: b})
 		if idx == out.pkt.length-1 {
 			out.finished = true
-			t.add(cyc, 0, out.unit(), "last data byte transmitted (read counter 0)")
+			if t != nil {
+				t.add(cyc, 0, out.name, "last data byte transmitted (read counter 0)")
+			}
 		}
 	}
 	out.sent++
@@ -95,5 +106,3 @@ func (out *OutPort) phase1() {
 	out.src = nil
 	out.pkt = nil
 }
-
-func (out *OutPort) unit() string { return fmt.Sprintf("out[%d]", out.id) }

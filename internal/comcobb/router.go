@@ -28,15 +28,19 @@ type Route struct {
 
 // Router is the per-input-port routing unit. The ComCoBB routes with
 // virtual circuits: the header byte indexes a local table yielding the
-// output port and the header to present downstream (Section 3.2.1).
+// output port and the header to present downstream (Section 3.2.1). The
+// table is a direct 256-entry array, like the chip's RAM: a map here put
+// hash lookups on the per-packet hot path and hash-table nodes on the
+// heap for every chip in a network.
 type Router struct {
 	port          int // which input port this router serves
 	allowTurnback bool
-	table         map[byte]Route
+	table         [256]Route
+	present       [256]bool
 }
 
 func newRouter(port int, allowTurnback bool) *Router {
-	return &Router{port: port, allowTurnback: allowTurnback, table: make(map[byte]Route)}
+	return &Router{port: port, allowTurnback: allowTurnback}
 }
 
 // Set installs a circuit. In coprocessor mode the chip never routes a
@@ -56,15 +60,15 @@ func (r *Router) Set(header byte, route Route) error {
 		return fmt.Errorf("comcobb: continuation length %d out of 0..%d", route.ContLength, MaxDataBytes)
 	}
 	r.table[header] = route
+	r.present[header] = true
 	return nil
 }
 
 // Lookup resolves a header byte. Unknown headers are a configuration
 // error surfaced to the caller.
 func (r *Router) Lookup(header byte) (Route, error) {
-	route, ok := r.table[header]
-	if !ok {
+	if !r.present[header] {
 		return Route{}, fmt.Errorf("comcobb: input %d has no circuit for header %#x", r.port, header)
 	}
-	return route, nil
+	return r.table[header], nil
 }

@@ -44,35 +44,46 @@ func (l *Link) collect() {
 	}
 }
 
-// Wire encodes a first-of-message packet as its on-wire symbol sequence:
-// start bit, header byte, length byte, then data. Tests and testbench
-// drivers use it.
-func Wire(header byte, data []byte) []wireSymbol {
+// AppendWire appends a first-of-message packet's on-wire symbol sequence
+// to dst and returns the extended slice: start bit, header byte, length
+// byte, then data. Drivers encoding a stream of packets pass their script
+// buffer as dst so encoding reuses its capacity.
+func AppendWire(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 	if len(data) == 0 || len(data) > MaxDataBytes {
 		panic("comcobb: packet data must be 1..32 bytes")
 	}
-	syms := []wireSymbol{{start: true}}
-	syms = append(syms, wireSymbol{valid: true, b: header})
-	syms = append(syms, wireSymbol{valid: true, b: byte(len(data))})
+	dst = append(dst, wireSymbol{start: true},
+		wireSymbol{valid: true, b: header},
+		wireSymbol{valid: true, b: byte(len(data))})
 	for _, b := range data {
-		syms = append(syms, wireSymbol{valid: true, b: b})
+		dst = append(dst, wireSymbol{valid: true, b: b})
 	}
-	return syms
+	return dst
 }
 
-// WireCont encodes a continuation packet: start bit, header byte, then
-// data with no length byte — the receiving router's circuit table must
-// carry ContLength == len(data).
-func WireCont(header byte, data []byte) []wireSymbol {
+// Wire encodes a first-of-message packet into a fresh symbol slice.
+// Tests and testbench drivers use it.
+func Wire(header byte, data []byte) []wireSymbol {
+	return AppendWire(nil, header, data)
+}
+
+// AppendWireCont appends a continuation packet's symbols to dst: start
+// bit, header byte, then data with no length byte — the receiving
+// router's circuit table must carry ContLength == len(data).
+func AppendWireCont(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 	if len(data) == 0 || len(data) > MaxDataBytes {
 		panic("comcobb: packet data must be 1..32 bytes")
 	}
-	syms := []wireSymbol{{start: true}}
-	syms = append(syms, wireSymbol{valid: true, b: header})
+	dst = append(dst, wireSymbol{start: true}, wireSymbol{valid: true, b: header})
 	for _, b := range data {
-		syms = append(syms, wireSymbol{valid: true, b: b})
+		dst = append(dst, wireSymbol{valid: true, b: b})
 	}
-	return syms
+	return dst
+}
+
+// WireCont encodes a continuation packet into a fresh symbol slice.
+func WireCont(header byte, data []byte) []wireSymbol {
+	return AppendWireCont(nil, header, data)
 }
 
 // DecodeWire parses a sink's collected symbols back into packets,
@@ -88,7 +99,15 @@ func DecodeWire(syms []wireSymbol) []DecodedPacket {
 // A real receiver knows this from its own circuit tables, exactly like a
 // switch's router does.
 func DecodeWireWith(syms []wireSymbol, contLength map[byte]int) []DecodedPacket {
-	var out []DecodedPacket
+	return DecodeWireAppend(nil, syms, contLength)
+}
+
+// DecodeWireAppend is DecodeWireWith appending into caller-provided
+// scratch: repeated decoders (testbenches polling a sink every few cycles)
+// pass dst[:0] to reuse the packet slice across calls. The payload of each
+// DecodedPacket is still freshly allocated — it must outlive the capture.
+func DecodeWireAppend(dst []DecodedPacket, syms []wireSymbol, contLength map[byte]int) []DecodedPacket {
+	out := dst
 	i := 0
 	for i < len(syms) {
 		if !syms[i].start {

@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"damq/internal/arbiter"
+	"damq/internal/buffer"
+	"damq/internal/sw"
+)
+
+// TestActiveSetMatchesFullScan is the equivalence property behind the
+// active-set optimization: a run that arbitrates only switches holding
+// packets (with idle fast-forwarding) must produce bit-identical results
+// to the naive reference that arbitrates every switch every cycle. Any
+// divergence — a missed activation, a wrong AdvanceIdle count, a stale
+// occupancy counter — shows up as a mismatch in the Result fields, which
+// include every counter, latency summary, histogram bucket, and occupancy
+// trace of the run.
+func TestActiveSetMatchesFullScan(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform low blocking DAMQ", Config{
+			BufferKind: buffer.DAMQ, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Blocking,
+			Traffic: TrafficSpec{Kind: Uniform, Load: 0.15},
+			Seed:    11, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"uniform high blocking FIFO dumb", Config{
+			BufferKind: buffer.FIFO, Capacity: 4, Policy: arbiter.Dumb, Protocol: sw.Blocking,
+			Traffic: TrafficSpec{Kind: Uniform, Load: 0.7},
+			Seed:    12, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"uniform saturated discarding SAMQ", Config{
+			BufferKind: buffer.SAMQ, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Discarding,
+			Traffic: TrafficSpec{Kind: Uniform, Load: 1.0},
+			Seed:    13, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"hot-spot blocking DAMQ", Config{
+			BufferKind: buffer.DAMQ, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Blocking,
+			Traffic: TrafficSpec{Kind: HotSpot, Load: 0.3, HotFraction: 0.05},
+			Seed:    14, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"hot-spot discarding SAFC", Config{
+			BufferKind: buffer.SAFC, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Discarding,
+			Traffic: TrafficSpec{Kind: HotSpot, Load: 0.5, HotFraction: 0.05},
+			Seed:    15, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"bursty blocking DAMQ varlen", Config{
+			BufferKind: buffer.DAMQ, Capacity: 8, Policy: arbiter.Smart, Protocol: sw.Blocking,
+			Traffic: TrafficSpec{Kind: Bursty, Load: 0.25, MeanBurst: 3, MinSlots: 1, MaxSlots: 2},
+			Seed:    16, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+		{"small radix-2 network", Config{
+			Radix: 2, Inputs: 16,
+			BufferKind: buffer.DAMQ, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Blocking,
+			Traffic: TrafficSpec{Kind: Uniform, Load: 0.4},
+			Seed:    17, WarmupCycles: 300, MeasureCycles: 1200,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.fullScan = true
+
+			got := fast.Run()
+			want := ref.Run()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("active-set result diverges from full-scan reference:\n got: %+v\nwant: %+v", got, want)
+			}
+			if fast.InFlight() != ref.InFlight() {
+				t.Errorf("InFlight: active-set %d, full-scan %d", fast.InFlight(), ref.InFlight())
+			}
+			if fast.SourceBacklogLen() != ref.SourceBacklogLen() {
+				t.Errorf("SourceBacklogLen: active-set %d, full-scan %d",
+					fast.SourceBacklogLen(), ref.SourceBacklogLen())
+			}
+			// The active lists must agree with actual switch occupancy at
+			// the end of the run.
+			for st := range fast.stages {
+				listed := make(map[int]bool)
+				for _, si := range fast.active[st] {
+					listed[int(si)] = true
+				}
+				for si, swc := range fast.stages[st] {
+					if swc.Empty() == listed[si] {
+						t.Errorf("stage %d switch %d: Empty=%v but active-listed=%v",
+							st, si, swc.Empty(), listed[si])
+					}
+					if refLen := ref.stages[st][si].Len(); swc.Len() != refLen {
+						t.Errorf("stage %d switch %d: occupancy %d, reference %d",
+							st, si, swc.Len(), refLen)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestActiveSetSortedInvariant checks the structural invariant Step relies
+// on for deterministic iteration order: active lists stay sorted and
+// duplicate-free as switches churn in and out of the set.
+func TestActiveSetSortedInvariant(t *testing.T) {
+	sim, err := New(Config{
+		BufferKind: buffer.DAMQ, Capacity: 4, Policy: arbiter.Smart, Protocol: sw.Blocking,
+		Traffic: TrafficSpec{Kind: Uniform, Load: 0.3}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.NewResult()
+	for i := 0; i < 800; i++ {
+		sim.Step(res, true)
+		for st := range sim.active {
+			for j := 1; j < len(sim.active[st]); j++ {
+				if sim.active[st][j-1] >= sim.active[st][j] {
+					t.Fatalf("cycle %d stage %d: active list not strictly sorted: %v",
+						i, st, sim.active[st])
+				}
+			}
+		}
+	}
+}

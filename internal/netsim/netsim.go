@@ -197,6 +197,25 @@ type Sim struct {
 	warmupBoundary int64
 	// inFlight tracks buffered packets for conservation checks.
 	inFlight int64
+	// srcBacklog mirrors the total length of the source queues so the
+	// per-cycle backlog snapshot is a counter read, not a 1-per-input scan.
+	srcBacklog int64
+
+	// Active-set tracking (DESIGN.md "Performance model"): active[st] is
+	// the sorted list of switch indices in stage st holding at least one
+	// buffered packet. Step arbitrates only those, so the per-cycle cost is
+	// proportional to traffic rather than network size. A switch leaves the
+	// set when its last packet is popped (phase 1) and re-enters when a
+	// packet lands in it (phases 2-3); on re-entry its arbiter is
+	// fast-forwarded through the empty rounds it sat out (AdvanceIdle), so
+	// results are bit-identical to arbitrating every switch every cycle.
+	active [][]int32
+	// lastArb[st][si] is the cycle the switch last ran (or was fast-
+	// forwarded through) arbitration; -1 before its first packet.
+	lastArb [][]int64
+	// fullScan forces the naive every-switch arbitration path; the
+	// active-set equivalence property test runs it as the reference model.
+	fullScan bool
 
 	// probes holds one blocking probe per (stage, switch), built once at
 	// construction: creating the closures inside Step would allocate
@@ -291,6 +310,16 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.grantScratch = make([]arbiter.Grant, 0, cfg.Radix)
 	s.moveScratch = make([]move, 0, maxMoves)
+
+	s.active = make([][]int32, top.Stages())
+	s.lastArb = make([][]int64, top.Stages())
+	for st := range s.stages {
+		s.active[st] = make([]int32, 0, len(s.stages[st]))
+		s.lastArb[st] = make([]int64, len(s.stages[st]))
+		for si := range s.lastArb[st] {
+			s.lastArb[st][si] = -1
+		}
+	}
 	return s, nil
 }
 
@@ -304,12 +333,35 @@ func (s *Sim) Cycle() int64 { return s.cycle }
 func (s *Sim) InFlight() int64 { return s.inFlight }
 
 // SourceBacklogLen returns the total packets waiting in source queues.
-func (s *Sim) SourceBacklogLen() int64 {
-	var n int64
-	for i := range s.srcQ {
-		n += int64(s.srcQ[i].Len())
+func (s *Sim) SourceBacklogLen() int64 { return s.srcBacklog }
+
+// noteAccept records that a packet entered switch si of stage st. On the
+// 0→1 occupancy transition the switch re-enters the active set: its
+// arbiter is fast-forwarded through every empty round it was skipped for,
+// and it is re-inserted into the stage's sorted index list.
+func (s *Sim) noteAccept(st, si int) {
+	swc := s.stages[st][si]
+	if swc.Len() != 1 || s.fullScan {
+		return
 	}
-	return n
+	if skipped := s.cycle - s.lastArb[st][si]; skipped > 0 {
+		swc.AdvanceIdle(skipped)
+	}
+	s.lastArb[st][si] = s.cycle
+	s.activate(st, si)
+}
+
+// activate inserts si into stage st's sorted active list. Insertion moves
+// at most the tail of the list; active sets are small by construction.
+func (s *Sim) activate(st, si int) {
+	lst := append(s.active[st], 0)
+	i := len(lst) - 1
+	for i > 0 && lst[i-1] > int32(si) {
+		lst[i] = lst[i-1]
+		i--
+	}
+	lst[i] = int32(si)
+	s.active[st] = lst
 }
 
 // blockProbe builds the blocking-protocol probe for stage st switch si:
@@ -335,15 +387,43 @@ func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
 func (s *Sim) Step(res *Result, measuring bool) {
 	nStages := s.top.Stages()
 
-	// Phase 1: arbitration everywhere, against pre-movement state.
+	if measuring {
+		// Allocate the lazily created measurement structures once per run
+		// rather than testing for them on every delivery (use NewResult to
+		// avoid even this per-cycle branch).
+		if res.LatencyHist == nil {
+			res.LatencyHist = stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle))
+		}
+		if res.StageOccupancy == nil {
+			res.StageOccupancy = make([]stats.Summary, len(s.stages))
+		}
+	}
+
+	// Phase 1: arbitration against pre-movement state. Only switches
+	// holding packets can produce grants, so the active-set path visits
+	// exactly those, in the same (stage, switch) order as a full scan; a
+	// switch whose last packet is popped here leaves the set.
 	s.moveScratch = s.moveScratch[:0]
-	for st := 0; st < nStages; st++ {
-		for si, swc := range s.stages[st] {
-			s.grantScratch = swc.Arbitrate(s.probes[st][si], s.grantScratch[:0])
-			for _, g := range s.grantScratch {
-				p := swc.PopGrant(g)
-				s.moveScratch = append(s.moveScratch, move{p: p, stage: st, swIdx: si, out: g.Out})
+	if s.fullScan {
+		for st := 0; st < nStages; st++ {
+			for si, swc := range s.stages[st] {
+				s.arbitrateOne(st, si, swc)
 			}
+		}
+	} else {
+		for st := 0; st < nStages; st++ {
+			lst := s.active[st]
+			w := 0
+			for _, si := range lst {
+				swc := s.stages[st][int(si)]
+				s.arbitrateOne(st, int(si), swc)
+				s.lastArb[st][si] = s.cycle
+				if !swc.Empty() {
+					lst[w] = si
+					w++
+				}
+			}
+			s.active[st] = lst[:w]
 		}
 	}
 
@@ -361,6 +441,7 @@ func (s *Sim) Step(res *Result, measuring bool) {
 		mv.p.OutPort = s.top.RouteDigit(mv.p.Dest, mv.stage+1)
 		next := s.stages[mv.stage+1][nsw]
 		if next.Offer(nport, mv.p) {
+			s.noteAccept(mv.stage+1, nsw)
 			mv.p = nil
 			continue
 		}
@@ -393,6 +474,7 @@ func (s *Sim) Step(res *Result, measuring bool) {
 		if s.cfg.Protocol == sw.Blocking && s.srcQ[src].Len() > 0 {
 			if s.inject(s.srcQ[src].Front()) {
 				s.srcQ[src].PopFront()
+				s.srcBacklog--
 				if measuring {
 					res.Injected++
 				}
@@ -401,10 +483,10 @@ func (s *Sim) Step(res *Result, measuring bool) {
 	}
 
 	if measuring {
-		// Occupancy snapshots, total and per stage.
-		if res.StageOccupancy == nil {
-			res.StageOccupancy = make([]stats.Summary, len(s.stages))
-		}
+		// Occupancy snapshots, total and per stage. Switch occupancy and
+		// the source backlog are incrementally maintained counters, so the
+		// snapshot is pure reads; the full-scan reference recomputes the
+		// backlog from the queues to cross-check the counter.
 		for st := range s.stages {
 			for _, swc := range s.stages[st] {
 				n := float64(swc.Len())
@@ -412,9 +494,26 @@ func (s *Sim) Step(res *Result, measuring bool) {
 				res.StageOccupancy[st].Add(n)
 			}
 		}
-		res.SourceBacklog.Add(float64(s.SourceBacklogLen()))
+		backlog := s.srcBacklog
+		if s.fullScan {
+			backlog = 0
+			for i := range s.srcQ {
+				backlog += int64(s.srcQ[i].Len())
+			}
+		}
+		res.SourceBacklog.Add(float64(backlog))
 	}
 	s.cycle++
+}
+
+// arbitrateOne runs one switch's arbitration and queues its granted
+// packets as moves.
+func (s *Sim) arbitrateOne(st, si int, swc *sw.Switch) {
+	s.grantScratch = swc.Arbitrate(s.probes[st][si], s.grantScratch[:0])
+	for _, g := range s.grantScratch {
+		p := swc.PopGrant(g)
+		s.moveScratch = append(s.moveScratch, move{p: p, stage: st, swIdx: si, out: g.Out})
+	}
 }
 
 // enqueueSource routes a newborn packet toward the network.
@@ -425,6 +524,7 @@ func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 	switch s.cfg.Protocol {
 	case sw.Blocking:
 		s.srcQ[p.Source].PushBack(p)
+		s.srcBacklog++
 	default: // Discarding: offer immediately, drop on refusal.
 		if s.inject(p) {
 			if measuring {
@@ -446,6 +546,7 @@ func (s *Sim) inject(p *packet.Packet) bool {
 	if !s.stages[0][swIdx].Offer(port, p) {
 		return false
 	}
+	s.noteAccept(0, swIdx)
 	p.Injected = s.cycle
 	s.inFlight++
 	return true
@@ -467,9 +568,9 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 	bornClock := p.Born*c + int64(s.phase.Intn(int(c)))
 	deliveryClock := (s.cycle + 1) * c
 	injectClock := (p.Injected + 1) * c
-	if res.LatencyHist == nil {
-		res.LatencyHist = stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle))
-	}
+	// res.LatencyHist is guaranteed non-nil here: Run allocates it up
+	// front (NewResult) and Step re-checks once per measured cycle, so the
+	// per-delivery path carries no lazy-allocation branch.
 	res.LatencyHist.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromBorn.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromInjection.Add(float64(deliveryClock - injectClock))
@@ -480,9 +581,21 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 	}
 }
 
+// NewResult returns a Result with its measurement structures (latency
+// histogram, per-stage occupancy summaries) pre-allocated for this
+// simulation. Direct Step callers should prefer it over a zero Result so
+// nothing is lazily allocated on the measurement path.
+func (s *Sim) NewResult() *Result {
+	return &Result{
+		Config:         s.cfg,
+		LatencyHist:    stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle)),
+		StageOccupancy: make([]stats.Summary, len(s.stages)),
+	}
+}
+
 // Run executes warmup then measurement and returns the results.
 func (s *Sim) Run() *Result {
-	res := &Result{Config: s.cfg}
+	res := s.NewResult()
 	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
 		s.Step(res, false)
 	}

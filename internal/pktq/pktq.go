@@ -49,6 +49,11 @@ func (q *Queue) PushBack(p *packet.Packet) {
 	q.n++
 }
 
+// shrinkFloor is the backing-array size below which PopFront never
+// shrinks: steady-state simulator queues stay under it, so they keep one
+// array forever and the shrink path costs them nothing.
+const shrinkFloor = 64
+
 // PopFront removes and returns the oldest packet, or nil if empty.
 func (q *Queue) PopFront() *packet.Packet {
 	if q.n == 0 {
@@ -58,6 +63,14 @@ func (q *Queue) PopFront() *packet.Packet {
 	q.buf[q.head] = nil // release the reference for reuse/GC
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
+	// Shrink when occupancy falls to a quarter of a large backing array, so
+	// a queue that ballooned during a transient (a saturated blocking
+	// source's backlog, a hot-spot tree) returns the memory once the surge
+	// drains. Halving at ≤1/4 occupancy keeps the new array at most half
+	// full, preserving amortized O(1) push/pop.
+	if len(q.buf) > shrinkFloor && q.n <= len(q.buf)/4 {
+		q.resize(len(q.buf) / 2)
+	}
 	return p
 }
 
@@ -77,6 +90,12 @@ func (q *Queue) grow() {
 	if newCap == 0 {
 		newCap = 8
 	}
+	q.resize(newCap)
+}
+
+// resize re-bases the ring into a fresh backing array of newCap slots
+// (a power of two not smaller than q.n), oldest packet at index 0.
+func (q *Queue) resize(newCap int) {
 	nb := make([]*packet.Packet, newCap)
 	for i := 0; i < q.n; i++ {
 		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]

@@ -113,3 +113,73 @@ func TestResetKeepsCapacity(t *testing.T) {
 		t.Errorf("allocs per run = %v, want <= 20 (packet construction only)", allocs)
 	}
 }
+
+func TestShrinkReleasesDrainedSurge(t *testing.T) {
+	var q Queue
+	// Surge: grow the backing array well past the shrink floor.
+	const surge = 4096
+	for i := uint64(0); i < surge; i++ {
+		q.PushBack(pkt(i))
+	}
+	if len(q.buf) < surge {
+		t.Fatalf("backing array %d after %d pushes", len(q.buf), surge)
+	}
+	// Drain: the array must shrink as occupancy falls, FIFO order intact.
+	for i := uint64(0); i < surge; i++ {
+		p := q.PopFront()
+		if p == nil || p.ID != i {
+			t.Fatalf("PopFront = %v, want id %d", p, i)
+		}
+		if q.n > len(q.buf) {
+			t.Fatalf("occupancy %d exceeds backing array %d", q.n, len(q.buf))
+		}
+	}
+	if len(q.buf) > shrinkFloor {
+		t.Fatalf("drained queue kept a %d-slot array, want <= %d", len(q.buf), shrinkFloor)
+	}
+	if len(q.buf)&(len(q.buf)-1) != 0 {
+		t.Fatalf("backing array %d is not a power of two", len(q.buf))
+	}
+}
+
+func TestShrinkFloorPreventsThrash(t *testing.T) {
+	// A queue that never outgrows the floor must keep one backing array
+	// through any number of drain/refill rounds — the steady-state
+	// allocation guarantee the simulators rely on.
+	var q Queue
+	for i := 0; i < shrinkFloor; i++ {
+		q.PushBack(pkt(uint64(i)))
+	}
+	arr := &q.buf[0]
+	for round := 0; round < 50; round++ {
+		for q.Len() > 0 {
+			q.PopFront()
+		}
+		for i := 0; i < shrinkFloor; i++ {
+			q.PushBack(pkt(uint64(i)))
+		}
+	}
+	if &q.buf[0] != arr {
+		t.Fatal("backing array was replaced below the shrink floor")
+	}
+}
+
+func TestShrinkPreservesOrderAcrossWrap(t *testing.T) {
+	var q Queue
+	// Build a wrapped ring above the floor, then shrink mid-wrap.
+	for i := uint64(0); i < 300; i++ {
+		q.PushBack(pkt(i))
+	}
+	for i := uint64(0); i < 200; i++ {
+		q.PopFront()
+	}
+	for i := uint64(300); i < 400; i++ {
+		q.PushBack(pkt(i))
+	}
+	for i := uint64(200); i < 400; i++ {
+		p := q.PopFront()
+		if p == nil || p.ID != i {
+			t.Fatalf("PopFront = %v, want id %d", p, i)
+		}
+	}
+}

@@ -62,6 +62,11 @@ type Switch struct {
 	cfg  Config
 	bufs []buffer.Buffer
 	arb  *arbiter.Arbiter
+	// count tracks buffered packets across all input buffers so Len and
+	// Empty are O(1); the active-set network simulator polls them every
+	// cycle. It stays correct as long as buffer contents change only
+	// through Offer, PopGrant, and Reset.
+	count int
 	// v is the reusable arbiter view: constructing it per Arbitrate call
 	// would heap-allocate one adapter per switch per network cycle.
 	v view
@@ -110,13 +115,10 @@ func (s *Switch) Buffer(i int) buffer.Buffer { return s.bufs[i] }
 func (s *Switch) Config() Config { return s.cfg }
 
 // Len is the number of packets currently buffered in the whole switch.
-func (s *Switch) Len() int {
-	n := 0
-	for _, b := range s.bufs {
-		n += b.Len()
-	}
-	return n
-}
+func (s *Switch) Len() int { return s.count }
+
+// Empty reports whether no packets are buffered anywhere in the switch.
+func (s *Switch) Empty() bool { return s.count == 0 }
 
 // Reset clears all buffers and arbitration state.
 func (s *Switch) Reset() {
@@ -124,6 +126,19 @@ func (s *Switch) Reset() {
 		b.Reset()
 	}
 	s.arb.Reset()
+	s.count = 0
+}
+
+// AdvanceIdle fast-forwards the switch through cycles arbitration rounds
+// in which it held no packets, reproducing exactly the arbiter state those
+// empty rounds would have produced (the priority pointer advances once per
+// round; nothing else changes). The active-set network simulator calls it
+// when a switch that sat out of arbitration re-enters the active set —
+// typically just after the packet ending the idle span was accepted, so
+// the switch may be non-empty at call time. The caller asserts that the
+// rounds being replayed themselves held no packets.
+func (s *Switch) AdvanceIdle(cycles int64) {
+	s.arb.AdvanceIdle(cycles)
 }
 
 // BlockProbe reports whether the head packet of queue (in → out) must not
@@ -138,8 +153,8 @@ type view struct {
 }
 
 func (v *view) Ports() (int, int)     { return v.s.cfg.Ports, v.s.cfg.Ports }
+func (v *view) InputLen(i int) int    { return v.s.bufs[i].Len() }
 func (v *view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
-func (v *view) HasHead(i, o int) bool { return v.s.bufs[i].Head(o) != nil }
 func (v *view) MaxReads(i int) int    { return v.s.bufs[i].MaxReadsPerCycle() }
 
 func (v *view) Blocked(i, o int) bool {
@@ -171,6 +186,7 @@ func (s *Switch) PopGrant(g arbiter.Grant) *packet.Packet {
 	if p == nil {
 		panic(fmt.Sprintf("sw: grant %+v does not match buffer state", g))
 	}
+	s.count--
 	return p
 }
 
@@ -187,6 +203,7 @@ func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
 		// CanAccept said yes; Accept can only fail on a routing bug.
 		panic(fmt.Sprintf("sw: accept after CanAccept: %v", err))
 	}
+	s.count++
 	return true
 }
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The two source annotations damqvet understands:
+//
+//	// damqvet:hotpath — this function (or function literal) is on a
+//	0-allocs/op benchmark path; the zeroalloc rules apply to its body.
+//
+//	// damqvet:ordered — this range-over-map has been audited: its
+//	result does not depend on iteration order. The determinism rule
+//	accepts the loop without further analysis.
+//
+// A marker applies to the node that starts on the same line (trailing
+// comment) or on the line immediately below the marker; for function
+// declarations, a marker anywhere in the doc comment also counts.
+const (
+	markHotpath = "damqvet:hotpath"
+	markOrdered = "damqvet:ordered"
+)
+
+// fileAnnots records, per marker kind, the source lines carrying one.
+type fileAnnots struct {
+	hotpath map[int]bool
+	ordered map[int]bool
+}
+
+// collectAnnots scans a file's comments for damqvet markers. A marker
+// must be the first token of its comment; trailing justification text
+// ("// damqvet:ordered keys feed a histogram") is allowed and encouraged.
+func collectAnnots(fset *token.FileSet, f *ast.File) fileAnnots {
+	a := fileAnnots{hotpath: map[int]bool{}, ordered: map[int]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case isMarker(text, markHotpath):
+				a.hotpath[line] = true
+			case isMarker(text, markOrdered):
+				a.ordered[line] = true
+			}
+		}
+	}
+	return a
+}
+
+// isMarker reports whether text begins with the marker as a whole token.
+func isMarker(text, marker string) bool {
+	if !strings.HasPrefix(text, marker) {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// appliesTo reports whether a marker recorded in marks governs a node
+// starting at nodeLine.
+func appliesTo(marks map[int]bool, nodeLine int) bool {
+	return marks[nodeLine] || marks[nodeLine-1]
+}
+
+// docHasMarker reports whether a doc comment group contains the marker.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+		if isMarker(text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotpathFunc reports whether a function declaration is annotated as a
+// hot path (doc marker, or marker on/above its first line).
+func isHotpathFunc(ann fileAnnots, fset *token.FileSet, decl *ast.FuncDecl) bool {
+	if docHasMarker(decl.Doc, markHotpath) {
+		return true
+	}
+	return appliesTo(ann.hotpath, fset.Position(decl.Pos()).Line)
+}
+
+// isHotpathLit reports whether a function literal is annotated as a hot
+// path via a marker on its own line or the line above (the annotated
+// anonymous function case).
+func isHotpathLit(ann fileAnnots, fset *token.FileSet, lit *ast.FuncLit) bool {
+	return appliesTo(ann.hotpath, fset.Position(lit.Pos()).Line)
+}
+
+// isOrderedWaiver reports whether a range statement carries the ordered
+// waiver.
+func isOrderedWaiver(ann fileAnnots, fset *token.FileSet, pos token.Pos) bool {
+	return appliesTo(ann.ordered, fset.Position(pos).Line)
+}

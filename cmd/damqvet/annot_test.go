@@ -1,0 +1,147 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annotSrc = `package p
+
+type T struct{ n int }
+
+// Len reports the length.
+// damqvet:hotpath ring accessor, on the cycle path
+func (t *T) Len() int { return t.n }
+
+// damqvet:hotpath
+func Free(x int) int { return x + 1 }
+
+func Plain(x int) int { return x + 2 } // damqvet:hotpath trailing form
+
+// NotHot has a lookalike marker that must not count.
+// damqvet:hotpathological
+func NotHot() {}
+
+func Maker() (func() int, func() int) {
+	// damqvet:hotpath annotated anonymous function
+	hot := func() int { return 1 }
+	cold := func() int { return 2 }
+	return hot, cold
+}
+
+func SameLine() func() int {
+	f := func() int { return 3 } // damqvet:hotpath
+	return f
+}
+
+func Ranges(m map[string]int) int {
+	s := 0
+	// damqvet:ordered audited
+	for _, v := range m {
+		s += v
+	}
+	for k := range m { // damqvet:ordered trailing form
+		_ = k
+	}
+	for k2 := range m {
+		_ = k2
+	}
+	return s
+}
+`
+
+func parseAnnotSrc(t *testing.T) (*token.FileSet, *ast.File, fileAnnots) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot.go", annotSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, collectAnnots(fset, f)
+}
+
+// TestHotpathDecls covers the marker on a method doc, a plain func, the
+// trailing same-line form, and the lookalike that must not match.
+func TestHotpathDecls(t *testing.T) {
+	fset, f, ann := parseAnnotSrc(t)
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			got[fd.Name.Name] = isHotpathFunc(ann, fset, fd)
+		}
+	}
+	expect := map[string]bool{
+		"Len":      true,  // doc-comment marker on a method
+		"Free":     true,  // marker line directly above a func
+		"Plain":    true,  // trailing marker on the same line
+		"NotHot":   false, // damqvet:hotpathological is not the marker
+		"Maker":    false,
+		"SameLine": false,
+		"Ranges":   false,
+	}
+	for name, want := range expect {
+		if got[name] != want {
+			t.Errorf("isHotpathFunc(%s) = %v, want %v", name, got[name], want)
+		}
+	}
+}
+
+// TestHotpathLits covers annotated anonymous functions: marker on the
+// line above and trailing on the same line, with an unannotated sibling.
+func TestHotpathLits(t *testing.T) {
+	fset, f, ann := parseAnnotSrc(t)
+	var hot, cold, sameLine bool
+	var nLits int
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		nLits++
+		switch line := fset.Position(lit.Pos()).Line; line {
+		case 20:
+			hot = isHotpathLit(ann, fset, lit)
+		case 21:
+			cold = isHotpathLit(ann, fset, lit)
+		case 26:
+			sameLine = isHotpathLit(ann, fset, lit)
+		}
+		return true
+	})
+	if nLits != 3 {
+		t.Fatalf("expected 3 function literals in the test source, found %d", nLits)
+	}
+	if !hot {
+		t.Error("literal under a marker line should be hot")
+	}
+	if cold {
+		t.Error("unannotated literal should not be hot")
+	}
+	if !sameLine {
+		t.Error("literal with a trailing same-line marker should be hot")
+	}
+}
+
+// TestOrderedWaivers covers the waiver above the loop, trailing on the
+// loop line, and a loop with no waiver.
+func TestOrderedWaivers(t *testing.T) {
+	fset, f, ann := parseAnnotSrc(t)
+	var got []bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			got = append(got, isOrderedWaiver(ann, fset, rs.Pos()))
+		}
+		return true
+	})
+	want := []bool{true, true, false}
+	if len(got) != len(want) {
+		t.Fatalf("expected %d range statements, found %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range #%d: waiver = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule family names, selectable via -rules.
+const (
+	ruleDeterminism = "determinism"
+	ruleZeroalloc   = "zeroalloc"
+	ruleStructure   = "structure"
+)
+
+// AllRules lists every rule family in reporting order.
+var AllRules = []string{ruleDeterminism, ruleZeroalloc, ruleStructure}
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Checker runs the enabled rule families over loaded packages and
+// accumulates findings.
+type Checker struct {
+	Fset  *token.FileSet
+	Rules map[string]bool
+	// SimAll treats every package as a simulation package; the fixture
+	// tests use it so small testdata modules exercise the determinism and
+	// structure rules without replicating the repo layout.
+	SimAll bool
+
+	Findings []Finding
+}
+
+// NewChecker enables the given rule families (nil or empty = all).
+func NewChecker(fset *token.FileSet, rules []string) (*Checker, error) {
+	c := &Checker{Fset: fset, Rules: map[string]bool{}}
+	if len(rules) == 0 {
+		rules = AllRules
+	}
+	for _, r := range rules {
+		ok := false
+		for _, known := range AllRules {
+			if r == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (want %s)", r, strings.Join(AllRules, "|"))
+		}
+		c.Rules[r] = true
+	}
+	return c, nil
+}
+
+// Check runs every enabled rule family over one package.
+func (c *Checker) Check(p *Package) {
+	if c.Rules[ruleDeterminism] {
+		c.determinism(p)
+	}
+	if c.Rules[ruleZeroalloc] {
+		c.zeroalloc(p)
+	}
+	if c.Rules[ruleStructure] {
+		c.structure(p)
+	}
+}
+
+// Sorted returns the findings in (file, line, message) order.
+func (c *Checker) Sorted() []Finding {
+	out := append([]Finding(nil), c.Findings...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+func (c *Checker) report(pos token.Pos, rule, format string, args ...any) {
+	c.Findings = append(c.Findings, Finding{
+		Pos:  c.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// simPkgSuffixes are the simulation/experiment packages the determinism
+// and structure families police (ISSUE 3): the packages whose behaviour
+// feeds rendered tables and recorded experiment outputs.
+var simPkgSuffixes = []string{
+	"internal/netsim",
+	"internal/comcobb",
+	"internal/experiments",
+	"internal/arbiter",
+	"internal/sw",
+	"internal/eventsim",
+	"internal/omega",
+	"internal/traffic",
+}
+
+// isSimPackage reports whether the determinism/structure families apply
+// to the package with this import path. internal/markov* matches as a
+// family (markov, markov2x2, and future siblings).
+func (c *Checker) isSimPackage(path string) bool {
+	if c.SimAll {
+		return true
+	}
+	for _, s := range simPkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	if i := strings.Index(path, "internal/markov"); i >= 0 {
+		if (i == 0 || path[i-1] == '/') && !strings.Contains(path[i+len("internal/markov"):], "/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isParallelPackage reports whether path is the sanctioned concurrency
+// package (goroutines are allowed only there).
+func isParallelPackage(path string) bool {
+	return path == "internal/parallel" || strings.HasSuffix(path, "/internal/parallel")
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers.
+
+// rootIdent unwraps selectors, indexes, slices, parens, and derefs down
+// to the base identifier of an lvalue-ish expression (s.active[st] -> s).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// e.g. f().x — no stable root.
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgNameOf returns the imported package an identifier refers to, or nil.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := objOf(info, id).(*types.PkgName)
+	return pn
+}
+
+// calleeFromPkg reports whether call invokes function fun of the package
+// imported under path pkgPath (exact path or trailing "/pkgPath" suffix,
+// so fixtures with a local mini-package match too). An empty fun matches
+// any function of the package.
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath, fun string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (fun != "" && sel.Sel.Name != fun) {
+		return false
+	}
+	pn := pkgNameOf(info, sel.X)
+	if pn == nil {
+		return false
+	}
+	imported := pn.Imported().Path()
+	return imported == pkgPath || strings.HasSuffix(imported, "/"+pkgPath)
+}
+
+// isTracePointer reports whether t is a pointer to a named type whose
+// name contains "Trace" — the shape of the chip model's event recorder
+// and of any future trace sink following the same convention.
+func isTracePointer(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(named.Obj().Name(), "Trace")
+}
+
+// paramObjects collects the receiver and parameter objects of a function
+// into dst.
+func paramObjects(info *types.Info, recv *ast.FieldList, ftype *ast.FuncType, dst map[types.Object]bool) {
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := info.Defs[name]; o != nil {
+					dst[o] = true
+				}
+			}
+		}
+	}
+	addList(recv)
+	if ftype != nil {
+		addList(ftype.Params)
+	}
+}
+
+// addDerivedLocals extends allowed with locals assigned (one or more
+// steps removed) from already-allowed roots: `p := in.cur` makes appends
+// through p receiver-backed. Runs to a small fixpoint.
+func addDerivedLocals(info *types.Info, body *ast.BlockStmt, allowed map[types.Object]bool) {
+	for range 4 {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				root := rootIdent(as.Rhs[i])
+				if root == nil {
+					continue
+				}
+				if ro := objOf(info, root); ro != nil && allowed[ro] {
+					if lo := objOf(info, lid); lo != nil && !allowed[lo] {
+						allowed[lo] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// refsAnyOf reports whether expr references at least one object in set.
+func refsAnyOf(info *types.Info, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := objOf(info, id); o != nil && set[o] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

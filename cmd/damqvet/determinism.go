@@ -1,0 +1,182 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinism enforces the byte-identical-output invariant inside the
+// simulation/experiment packages: no map-order-dependent iteration, no
+// wall-clock reads, no process-global randomness, and no ad-hoc
+// goroutines (concurrency is routed through internal/parallel, which
+// merges results in deterministic order).
+func (c *Checker) determinism(p *Package) {
+	if !c.isSimPackage(p.Path) {
+		return
+	}
+	par := isParallelPackage(p.Path)
+	for _, f := range p.Files {
+		ann := collectAnnots(c.Fset, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				c.report(imp.Pos(), ruleDeterminism,
+					"simulation package imports %s (process-global randomness); thread a seeded *rng.Source instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				if !par {
+					c.report(x.Pos(), ruleDeterminism,
+						"bare go statement in simulation package; route concurrency through internal/parallel")
+				}
+			case *ast.CallExpr:
+				if calleeFromPkg(p.Info, x, "time", "Now") {
+					c.report(x.Pos(), ruleDeterminism,
+						"time.Now in simulation package; inject a clock so wall-clock readings cannot leak into results")
+				} else if calleeFromPkg(p.Info, x, "time", "Since") {
+					c.report(x.Pos(), ruleDeterminism,
+						"time.Since in simulation package; inject a clock so wall-clock readings cannot leak into results")
+				}
+			case *ast.BlockStmt:
+				c.checkMapRanges(p, ann, x.List)
+			case *ast.CaseClause:
+				c.checkMapRanges(p, ann, x.Body)
+			case *ast.CommClause:
+				c.checkMapRanges(p, ann, x.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges flags range-over-map statements in one statement list
+// unless the loop is provably order-insensitive, feeds a sorted key
+// slice, or carries a // damqvet:ordered waiver. The list is needed (not
+// just the statement) so the keys-sorted pattern can look at later
+// siblings for the sort call.
+func (c *Checker) checkMapRanges(p *Package, ann fileAnnots, list []ast.Stmt) {
+	for i, st := range list {
+		for {
+			ls, ok := st.(*ast.LabeledStmt)
+			if !ok {
+				break
+			}
+			st = ls.Stmt
+		}
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if isOrderedWaiver(ann, c.Fset, rs.Pos()) {
+			continue
+		}
+		if orderInsensitiveBody(rs.Body) {
+			continue
+		}
+		if keysSortedAfter(p.Info, rs, list[i+1:]) {
+			continue
+		}
+		c.report(rs.Pos(), ruleDeterminism,
+			"range over map: iteration order is nondeterministic; sort the keys first, make the body commutative, or waive with // damqvet:ordered")
+	}
+}
+
+// orderInsensitiveBody reports whether every top-level statement of the
+// loop body is a commutative accumulation (x++, x--, or a compound
+// assignment whose operator is order-independent: += *= |= &= ^=).
+// Anything else — appends, plain assignment, calls, nested control flow —
+// may observe iteration order and disqualifies the loop.
+func orderInsensitiveBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, st := range body.List {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			// commutative
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// keysSortedAfter recognizes the canonical deterministic-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)            // or slices.Sort(keys), sort.Slice(keys, ...)
+//
+// The loop body must be exactly the self-append, and some later sibling
+// statement must pass the same slice to a sort or slices function.
+func keysSortedAfter(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	obj := objOf(info, lhs)
+	if !ok || obj == nil || objOf(info, arg0) != obj {
+		return false
+	}
+	for _, st := range rest {
+		sorted := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			sc, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := sc.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(info, sel.X)
+			if pn == nil {
+				return true
+			}
+			if ip := pn.Imported().Path(); ip != "sort" && ip != "slices" {
+				return true
+			}
+			for _, a := range sc.Args {
+				if id, ok := a.(*ast.Ident); ok && objOf(info, id) == obj {
+					sorted = true
+				}
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+// Command damqvet is the repo's design-rule checker: a dependency-free
+// static analyzer (stdlib go/parser + go/types only) that enforces the
+// simulator's determinism and zero-allocation invariants at the source
+// level. See DESIGN.md, "Machine-checked invariants".
+//
+// Usage:
+//
+//	go run ./cmd/damqvet [-rules determinism,zeroalloc,structure] [packages]
+//
+// Package patterns accept ./..., dir/..., directories, and full import
+// paths; the default is ./... from the enclosing module root. Findings
+// print as file:line: rule-name: message and make the exit status 1;
+// load or usage errors exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule families to run: determinism, zeroalloc, structure (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: damqvet [-rules list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*rules, flag.Args(), os.Stdout, os.Stderr))
+}
+
+func run(rules string, patterns []string, out, errw io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modRoot, err := findModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(errw, "damqvet:", err)
+		return 2
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(errw, "damqvet:", err)
+		return 2
+	}
+	var ruleList []string
+	if rules != "" {
+		for _, r := range strings.Split(rules, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				ruleList = append(ruleList, r)
+			}
+		}
+	}
+	checker, err := NewChecker(loader.Fset, ruleList)
+	if err != nil {
+		fmt.Fprintln(errw, "damqvet:", err)
+		return 2
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(errw, "damqvet:", err)
+		return 2
+	}
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(errw, "damqvet:", err)
+			return 2
+		}
+		checker.Check(p)
+	}
+	cwd, _ := os.Getwd()
+	findings := checker.Sorted()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(out, "%s:%d: %s: %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// structure enforces explicit randomness plumbing in the simulation
+// packages: an exported entry point may only construct an RNG from a
+// seed its caller supplied (directly or via a config struct), and no
+// package may hold a package-level *rng.Source. Implicit randomness is
+// how irreproducible experiment rows happen.
+func (c *Checker) structure(p *Package) {
+	if !c.isSimPackage(p.Path) {
+		return
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok {
+			continue
+		}
+		if isRNGSource(v.Type()) {
+			c.report(v.Pos(), ruleStructure,
+				"package-level RNG source %s; thread a *rng.Source or seed through the entry points instead", name)
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			c.checkEntrySeeds(p, fd)
+		}
+	}
+}
+
+// checkEntrySeeds flags rng.New calls inside an exported function whose
+// seed argument cannot be traced back to the caller (receiver, any
+// parameter — including parameters of enclosing or nested function
+// literals — or a value derived from one by assignment).
+func (c *Checker) checkEntrySeeds(p *Package, fd *ast.FuncDecl) {
+	info := p.Info
+	tainted := map[types.Object]bool{}
+	paramObjects(info, fd.Recv, fd.Type, tainted)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			paramObjects(info, nil, lit.Type, tainted)
+		}
+		return true
+	})
+	propagateTaint(info, fd.Body, tainted)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !calleeFromPkg(info, call, "rng", "New") {
+			return true
+		}
+		if len(call.Args) == 0 || !refsAnyOf(info, call.Args[0], tainted) {
+			c.report(call.Pos(), ruleStructure,
+				"exported entry point %s seeds an RNG from a value the caller did not supply; accept an explicit seed or *rng.Source", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// propagateTaint extends tainted with every variable assigned from an
+// expression that references a tainted object, to a fixpoint:
+// `s := cfg.Seed ^ salt` keeps s caller-derived.
+func propagateTaint(info *types.Info, body *ast.BlockStmt, tainted map[types.Object]bool) {
+	for {
+		changed := false
+		mark := func(id *ast.Ident) {
+			if id == nil || id.Name == "_" {
+				return
+			}
+			if o := objOf(info, id); o != nil && !tainted[o] {
+				tainted[o] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i, lhs := range x.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && refsAnyOf(info, x.Rhs[i], tainted) {
+							mark(id)
+						}
+					}
+				} else if len(x.Rhs) == 1 && refsAnyOf(info, x.Rhs[0], tainted) {
+					for _, lhs := range x.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							mark(id)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range x.Names {
+					if i < len(x.Values) && refsAnyOf(info, x.Values[i], tainted) {
+						mark(id)
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// isRNGSource matches *rng.Source for any package whose import path is
+// "rng" or ends in "/rng" (the repo's internal/rng and the fixtures'
+// local mini-package).
+func isRNGSource(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Source" || obj.Pkg() == nil {
+		return false
+	}
+	ip := obj.Pkg().Path()
+	return ip == "rng" || strings.HasSuffix(ip, "/rng")
+}

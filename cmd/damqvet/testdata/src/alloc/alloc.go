@@ -1,0 +1,87 @@
+// Package alloc seeds zeroalloc-rule violations inside annotated hot
+// paths, next to the guarded and receiver-rooted forms the rule must
+// accept.
+package alloc
+
+import "fmt"
+
+// Trace mirrors the repo's comcobb event recorder shape: a pointer to a
+// *Trace-named type is what the nil-guard rule recognizes.
+type Trace struct{ events []string }
+
+// Event records one event. Cold path by design.
+func (t *Trace) Event(s string) { t.events = append(t.events, s) }
+
+// Ring is a toy hot structure.
+type Ring struct {
+	slots []int
+	trace *Trace
+}
+
+// Push is clean: receiver-rooted append and a guarded trace call.
+// damqvet:hotpath
+func (r *Ring) Push(v int) {
+	r.slots = append(r.slots, v)
+	if r.trace != nil {
+		r.trace.Event("push")
+	}
+}
+
+// PushAll is clean: the append root is a local derived from the receiver.
+// damqvet:hotpath
+func (r *Ring) PushAll(vs []int) {
+	q := r
+	for _, v := range vs {
+		q.slots = append(q.slots, v)
+	}
+}
+
+// Checked is clean: panic arguments are a cold region.
+// damqvet:hotpath
+func (r *Ring) Checked(i int) int {
+	if i < 0 || i >= len(r.slots) {
+		panic(fmt.Sprintf("alloc: index %d out of range", i))
+	}
+	return r.slots[i]
+}
+
+// Fill is clean: appending to a parameter slice is the caller's storage.
+// damqvet:hotpath
+func Fill(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+func box(v interface{}) {}
+
+func boxVariadic(vs ...interface{}) {}
+
+// Bad collects one violation of each class.
+// damqvet:hotpath
+func (r *Ring) Bad(v int) []int {
+	var tmp []int
+	tmp = append(tmp, v) // want "append to a slice not reachable"
+	s := fmt.Sprint(v)   // want "fmt.Sprint in hot path"
+	s = s + "!"          // want "string concatenation"
+	u := "u"
+	u += s                       // want "string concatenation"
+	f := func() int { return v } // want "closure literal in hot path"
+	r.trace.Event(u)             // want "trace method call not dominated by a nil-trace guard"
+	box(v)                       // want "argument boxed into interface parameter"
+	boxVariadic(v)               // want "argument boxed into interface parameter"
+	box(r)                       // pointer-shaped: no boxing allocation
+	_ = f
+	return tmp
+}
+
+// Setup returns annotated and clean anonymous functions: the annotated
+// literal's body is checked even though Setup itself is not hot.
+func Setup(r *Ring) (func(int) string, func(int)) {
+	// damqvet:hotpath
+	hot := func(v int) string {
+		return fmt.Sprint(v) // want "fmt.Sprint in hot path"
+	}
+	cold := func(v int) {
+		_ = fmt.Sprint(v) // unannotated literal: no finding
+	}
+	return hot, cold
+}

@@ -1,0 +1,75 @@
+// Package det seeds determinism-rule violations next to the waived and
+// provably-safe forms the rule must accept.
+package det
+
+import (
+	"math/rand" // want "simulation package imports math/rand"
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// Collect observes map iteration order: the slice it returns differs
+// from run to run.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sum is order-insensitive: the body only accumulates commutatively.
+func Sum(m map[string]int) (int, int) {
+	total := 0
+	n := 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// Keys uses the canonical collect-then-sort idiom.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var sink []string
+
+// Waived carries an audited waiver.
+func Waived(m map[string]int) {
+	// damqvet:ordered the caller re-sorts sink before rendering
+	for k := range m {
+		sink = append(sink, k)
+	}
+}
+
+// Last is order-sensitive even though it looks like an accumulator: a
+// plain assignment keeps whichever key the runtime visits last.
+func Last(m map[string]int) string {
+	var last string
+	for k := range m { // want "range over map"
+		last = k
+	}
+	return last
+}
+
+// Timing reads the wall clock twice.
+func Timing() time.Duration {
+	start := time.Now()      // want "time.Now in simulation package"
+	return time.Since(start) // want "time.Since in simulation package"
+}
+
+// Spawn launches an ad-hoc goroutine.
+func Spawn(ch chan int) {
+	go send(ch, 1) // want "bare go statement"
+}
+
+func send(ch chan int, v int) { ch <- v }

@@ -1,0 +1,53 @@
+// Package entry seeds structure-rule violations: exported entry points
+// must derive their randomness from a caller-supplied seed or Source.
+package entry
+
+import "fixture/rng"
+
+var globalSrc = rng.New(1) // want "package-level RNG source"
+
+// Config carries a caller-chosen seed.
+type Config struct{ Seed uint64 }
+
+// Run seeds directly from its parameter.
+func Run(seed uint64) uint64 {
+	return rng.New(seed).Uint64()
+}
+
+// RunConfig seeds from a field of a parameter.
+func RunConfig(cfg Config) uint64 {
+	return rng.New(cfg.Seed).Uint64()
+}
+
+// RunDerived seeds from a value computed off a parameter.
+func RunDerived(seed uint64) uint64 {
+	streams := [2]uint64{seed, seed + 1}
+	return rng.New(streams[1]).Uint64()
+}
+
+// RunClosure seeds inside a literal from the enclosing parameter.
+func RunClosure(seed uint64) uint64 {
+	gen := func(i uint64) *rng.Source {
+		return rng.New(seed + i)
+	}
+	return gen(3).Uint64()
+}
+
+// RunFixed hides a constant seed from its callers.
+func RunFixed() uint64 {
+	return rng.New(42).Uint64() // want "seeds an RNG from a value the caller did not supply"
+}
+
+// RunSource takes the generator itself; nothing to flag.
+func RunSource(src *rng.Source) uint64 {
+	return src.Uint64()
+}
+
+func runInternal() uint64 {
+	// Unexported helpers are not entry points; their callers own the
+	// seed discipline.
+	return rng.New(7).Uint64()
+}
+
+var _ = runInternal
+var _ = globalSrc

@@ -1,0 +1,16 @@
+// Package rng is a miniature stand-in for the repo's internal/rng so the
+// fixtures can exercise the structure rules without importing the real
+// module.
+package rng
+
+// Source is a tiny deterministic generator.
+type Source struct{ s uint64 }
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source { return &Source{s: seed ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 advances the state.
+func (r *Source) Uint64() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}

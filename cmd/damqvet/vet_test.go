@@ -1,0 +1,151 @@
+package main
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation comment: the finding on its line must match re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts `// want "regex" ["regex" ...]` expectations from
+// a parsed fixture file.
+func collectWants(t *testing.T, l *Loader, f *ast.File) []*want {
+	t.Helper()
+	var ws []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := l.Fset.Position(c.Pos())
+			for _, q := range strings.Split(strings.TrimSpace(m[1]), `" "`) {
+				q = strings.Trim(q, `"`)
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+				}
+				ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return ws
+}
+
+// loadFixtures type-checks the fixture module and returns its packages.
+func loadFixtures(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	l, err := NewLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"testdata/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) < 4 {
+		t.Fatalf("expected at least 4 fixture packages, got %d", len(pkgs))
+	}
+	return l, pkgs
+}
+
+// TestFixtures runs all rule families over the fixture module and checks
+// findings against the // want comments in both directions: every
+// finding must be expected, and every expectation must fire.
+func TestFixtures(t *testing.T) {
+	l, pkgs := loadFixtures(t)
+	c, err := NewChecker(l.Fset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SimAll = true
+	var wants []*want
+	for _, p := range pkgs {
+		c.Check(p)
+		for _, f := range p.Files {
+			wants = append(wants, collectWants(t, l, f)...)
+		}
+	}
+	for _, f := range c.Sorted() {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Msg) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestRuleSelection checks that -rules style selection isolates families:
+// with only zeroalloc enabled, the determinism and structure fixtures
+// produce nothing.
+func TestRuleSelection(t *testing.T) {
+	l, pkgs := loadFixtures(t)
+	c, err := NewChecker(l.Fset, []string{"zeroalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SimAll = true
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Path, "/det") || strings.HasSuffix(p.Path, "/entry") {
+			c.Check(p)
+		}
+	}
+	if len(c.Findings) != 0 {
+		t.Fatalf("zeroalloc-only run over det+entry should be clean, got %v", c.Findings)
+	}
+}
+
+// TestEachFamilyFires guards against a rule family silently going dead:
+// each family on its own must produce at least one finding somewhere in
+// the fixtures.
+func TestEachFamilyFires(t *testing.T) {
+	for _, rule := range AllRules {
+		l, pkgs := loadFixtures(t)
+		c, err := NewChecker(l.Fset, []string{rule})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SimAll = true
+		for _, p := range pkgs {
+			c.Check(p)
+		}
+		if len(c.Findings) == 0 {
+			t.Errorf("rule family %s produced no findings on the fixtures", rule)
+		}
+	}
+}
+
+// TestUnknownRule checks the driver-level validation.
+func TestUnknownRule(t *testing.T) {
+	if _, err := NewChecker(nil, []string{"nosuchrule"}); err == nil {
+		t.Fatal("expected an error for an unknown rule name")
+	}
+}

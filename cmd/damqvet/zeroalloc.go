@@ -1,0 +1,261 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// zeroalloc enforces the 0-allocs/op invariant on functions annotated
+// // damqvet:hotpath. Inside an annotated body it flags the allocation
+// classes the benchmark gate has caught in the past: fmt.* calls, string
+// concatenation, closure literals, appends whose backing slice is not
+// reachable from the receiver or a parameter, concrete values boxed into
+// interface arguments, and trace-method calls outside a nil-trace guard.
+//
+// Panic arguments and the bodies of `if trace != nil { ... }` guards are
+// cold regions: the rules do not apply there.
+func (c *Checker) zeroalloc(p *Package) {
+	for _, f := range p.Files {
+		ann := collectAnnots(c.Fset, f)
+		var hotDecls []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isHotpathFunc(ann, c.Fset, fd) {
+				hotDecls = append(hotDecls, fd)
+				c.checkHotBody(p, fd.Recv, fd.Type, fd.Body)
+			}
+		}
+		// Annotated anonymous functions: hot paths built as literals
+		// (e.g. a probe installed into a struct field). Literals inside
+		// an already-hot declaration are skipped — the closure rule has
+		// flagged them there.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				for _, hd := range hotDecls {
+					if fd == hd {
+						return false
+					}
+				}
+				return true
+			}
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if isHotpathLit(ann, c.Fset, lit) {
+				c.checkHotBody(p, nil, lit.Type, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// span is a half-open-ish source region [lo, hi] in token.Pos space.
+type span struct{ lo, hi token.Pos }
+
+// checkHotBody applies the zeroalloc rules to one annotated function
+// body.
+func (c *Checker) checkHotBody(p *Package, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+	info := p.Info
+	cold := coldSpans(info, body)
+	inCold := func(pos token.Pos) bool {
+		for _, s := range cold {
+			if s.lo <= pos && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	allowed := map[types.Object]bool{}
+	paramObjects(info, recv, ftype, allowed)
+	addDerivedLocals(info, body, allowed)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if inCold(n.Pos()) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.report(x.Pos(), ruleZeroalloc, "closure literal in hot path allocates; hoist it or pass a method value built at construction time")
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) {
+				c.report(x.Pos(), ruleZeroalloc, "string concatenation in hot path allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) {
+				c.report(x.Pos(), ruleZeroalloc, "string concatenation in hot path allocates")
+			}
+		case *ast.CallExpr:
+			c.checkHotCall(p, x, allowed)
+		}
+		return true
+	})
+}
+
+// checkHotCall applies the per-call rules: fmt usage, non-receiver
+// appends, unguarded trace methods, and interface boxing of arguments.
+func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types.Object]bool) {
+	info := p.Info
+	if calleeFromPkg(info, call, "fmt", "") {
+		sel := call.Fun.(*ast.SelectorExpr)
+		c.report(call.Pos(), ruleZeroalloc, "fmt.%s in hot path allocates; move formatting off the hot path", sel.Sel.Name)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+			return // argument is a cold span; the function is aborting
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			root := rootIdent(call.Args[0])
+			var ro types.Object
+			if root != nil {
+				ro = objOf(info, root)
+			}
+			if ro == nil || !allowed[ro] {
+				c.report(call.Pos(), ruleZeroalloc, "append to a slice not reachable from the receiver or a parameter; growth allocates on the hot path")
+			}
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if _, isMethod := info.Selections[sel]; isMethod {
+			if tv, ok := info.Types[sel.X]; ok && isTracePointer(tv.Type) {
+				c.report(call.Pos(), ruleZeroalloc, "trace method call not dominated by a nil-trace guard; wrap it in `if trace != nil { ... }`")
+				return
+			}
+		}
+	}
+	c.checkBoxing(p, call)
+}
+
+// checkBoxing flags concrete, non-pointer-shaped values passed where the
+// callee expects an interface: the conversion boxes the value and
+// allocates. Pointer-shaped kinds (pointers, channels, maps, funcs,
+// unsafe pointers) convert without allocating and are permitted, as are
+// nil and values that are already interfaces.
+func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr) {
+	info := p.Info
+	ftv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if ftv.IsType() {
+		// Conversion expression T(x).
+		if isInterface(ftv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			c.report(call.Args[0].Pos(), ruleZeroalloc, "conversion to interface boxes a concrete value and allocates on the hot path")
+		}
+		return
+	}
+	sig, ok := ftv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && boxes(info, arg) {
+			c.report(arg.Pos(), ruleZeroalloc, "argument boxed into interface parameter allocates on the hot path; pass a pointer or restructure the call")
+		}
+	}
+}
+
+// coldSpans collects the source regions where allocation is acceptable:
+// panic arguments (the function is aborting) and the bodies of
+// `if trace != nil { ... }` guards (tracing is the opt-in debug path).
+func coldSpans(info *types.Info, body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+					spans = append(spans, span{x.Lparen, x.Rparen})
+				}
+			}
+		case *ast.IfStmt:
+			if isNilTraceGuard(info, x.Cond) {
+				spans = append(spans, span{x.Body.Pos(), x.Body.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// isNilTraceGuard matches `t != nil` (either operand order) where t has
+// a pointer-to-Trace type; `if t := expr; t != nil` hits this too since
+// only the condition is inspected.
+func isNilTraceGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		val, nilSide := pair[0], pair[1]
+		if tv, ok := info.Types[nilSide]; !ok || !tv.IsNil() {
+			continue
+		}
+		if tv, ok := info.Types[val]; ok && isTracePointer(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether passing arg to an interface parameter allocates:
+// true for concrete non-pointer-shaped values, false for nil, values that
+// are already interfaces, and pointer-shaped kinds.
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}

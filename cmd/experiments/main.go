@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"damq"
 	"damq/internal/experiments"
@@ -133,7 +134,7 @@ func main() {
 	fmt.Print(experiments.RenderBurstiness(burst))
 
 	section("Ablation A4 — Markov solvers and mixing times")
-	solver, err := experiments.AblationSolver()
+	solver, err := experiments.AblationSolver(time.Now)
 	orDie(err)
 	fmt.Print(experiments.RenderSolver(solver))
 

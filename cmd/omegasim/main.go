@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"damq"
 	"damq/internal/arbiter"
@@ -95,7 +96,7 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderBurstiness(burst))
 		fmt.Println()
-		solver, err := experiments.AblationSolver()
+		solver, err := experiments.AblationSolver(time.Now)
 		orDie(err)
 		fmt.Print(experiments.RenderSolver(solver))
 	case "varlen":

@@ -129,6 +129,7 @@ func (a *Arbiter) Policy() Policy { return a.policy }
 // round-robin default); stale counts of empty queues are already zero and
 // stay zero. Network simulators use this to skip arbitration of empty
 // switches without perturbing later arbitration decisions.
+// damqvet:hotpath
 func (a *Arbiter) AdvanceIdle(cycles int64) {
 	if cycles <= 0 {
 		return
@@ -152,6 +153,7 @@ func (a *Arbiter) Reset() {
 // Arbitrate computes this cycle's crossbar matching. It appends grants to
 // dst (pass nil to allocate) and returns the result; the order of grants
 // follows the examination order, which tests rely on.
+// damqvet:hotpath
 func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 	in, out := v.Ports()
 	if in != a.inputs || out != a.outputs {
@@ -255,6 +257,7 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 // (smart only), then longest queue, ties keeping the lowest output. It
 // works on the row's snapshotted state so candidate comparison costs no
 // interface calls.
+// damqvet:hotpath
 func better(policy Policy, stale []int64, qlen []int, o, best int) bool {
 	if policy == Smart && stale[o] != stale[best] {
 		return stale[o] > stale[best]

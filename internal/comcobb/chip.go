@@ -97,6 +97,7 @@ func Connect(a *Chip, out int, b *Chip, in int) {
 }
 
 // phase0Out drives all output wires for this cycle.
+// damqvet:hotpath
 func (c *Chip) phase0Out() {
 	for _, op := range c.outPorts {
 		op.phase0()
@@ -104,6 +105,7 @@ func (c *Chip) phase0Out() {
 }
 
 // phase0In samples all input wires and collects sink links.
+// damqvet:hotpath
 func (c *Chip) phase0In() {
 	for i, ip := range c.inPorts {
 		ip.phase0(c.inLinks[i])
@@ -116,6 +118,7 @@ func (c *Chip) phase0In() {
 }
 
 // phase1 runs routing/latching, transmission cleanup, then arbitration.
+// damqvet:hotpath
 func (c *Chip) phase1() {
 	for _, ip := range c.inPorts {
 		ip.phase1()
@@ -129,6 +132,7 @@ func (c *Chip) phase1() {
 
 // Tick advances a single standalone chip one clock cycle. Multi-chip
 // systems must use Network.Tick so wires settle in dependency order.
+// damqvet:hotpath
 func (c *Chip) Tick() {
 	c.phase0Out()
 	c.phase0In()
@@ -144,6 +148,7 @@ func slotsNeeded(n int) int { return (n + SlotBytes - 1) / SlotBytes }
 // buffer has a single read port, each output takes one connection, and a
 // grant requires downstream space for the whole packet (credit-based flow
 // control).
+// damqvet:hotpath
 func (c *Chip) arbitrate() {
 	for k := 0; k < NumPorts; k++ {
 		i := (c.prio + k) % NumPorts
@@ -176,6 +181,7 @@ func (c *Chip) arbitrate() {
 // at least one full cycle old (the arbitration latency of Table 1), the
 // length register must be loaded, and the downstream buffer must have
 // room for the entire packet.
+// damqvet:hotpath
 func (c *Chip) eligible(pkt *rxPacket, out int) bool {
 	if pkt.routedCycle >= c.cycle {
 		return false // request posted this phase; grant next cycle

@@ -47,8 +47,10 @@ type pktRing struct {
 	n    int
 }
 
+// damqvet:hotpath
 func (q *pktRing) len() int { return q.n }
 
+// damqvet:hotpath
 func (q *pktRing) front() *rxPacket {
 	if q.n == 0 {
 		return nil
@@ -56,6 +58,7 @@ func (q *pktRing) front() *rxPacket {
 	return q.buf[q.head]
 }
 
+// damqvet:hotpath
 func (q *pktRing) push(p *rxPacket) {
 	if q.n == len(q.buf) {
 		panic("comcobb: destination queue overflow (flow control violated)")
@@ -64,6 +67,7 @@ func (q *pktRing) push(p *rxPacket) {
 	q.n++
 }
 
+// damqvet:hotpath
 func (q *pktRing) popFront() *rxPacket {
 	p := q.front()
 	if p == nil {
@@ -120,6 +124,7 @@ func newInPort(chip *Chip, id, slots int, minMode bool) *InPort {
 
 // newPacket takes a recycled packet record, or allocates one while the
 // pool is still warming up.
+// damqvet:hotpath
 func (in *InPort) newPacket() *rxPacket {
 	if n := len(in.pktFree); n > 0 {
 		p := in.pktFree[n-1]
@@ -132,6 +137,7 @@ func (in *InPort) newPacket() *rxPacket {
 }
 
 // recyclePacket clears a retired record and returns it to the pool.
+// damqvet:hotpath
 func (in *InPort) recyclePacket(p *rxPacket) {
 	*p = rxPacket{}
 	p.slots = p.slotsArr[:0]
@@ -149,11 +155,13 @@ func (in *InPort) FreeSlots() int { return in.ram.free() }
 func (in *InPort) QueueLen(dest int) int { return in.queues[dest].len() }
 
 // head returns the first packet queued for dest, or nil.
+// damqvet:hotpath
 func (in *InPort) head(dest int) *rxPacket {
 	return in.queues[dest].front()
 }
 
 // pop removes the head packet for dest (on transmission grant).
+// damqvet:hotpath
 func (in *InPort) pop(dest int) *rxPacket {
 	p := in.queues[dest].popFront()
 	if p == nil {
@@ -168,6 +176,7 @@ func (in *InPort) pop(dest int) *rxPacket {
 // same cycle the previous packet's last byte is released (back-to-back
 // packets) is seen with the receiver already idle, as in the chip, where
 // the detector and the FSM are separate hardware.
+// damqvet:hotpath
 func (in *InPort) phase0(link *Link) {
 	// The synchronizer releases last cycle's wire symbol this phase.
 	in.syncOld = in.sync
@@ -223,6 +232,7 @@ func (in *InPort) phase0(link *Link) {
 
 // writeData stores one payload byte, allocating a fresh slot at each
 // 8-byte boundary (the write shift register stepping to the next slot).
+// damqvet:hotpath
 func (in *InPort) writeData(b byte) {
 	p := in.cur
 	off := p.written % SlotBytes
@@ -247,6 +257,7 @@ func (in *InPort) writeData(b byte) {
 
 // phase1 runs routing and length latching (cycles 2 and 3 phase 1 of
 // Table 1).
+// damqvet:hotpath
 func (in *InPort) phase1() {
 	if in.cur == nil || in.state != rxLength {
 		return
@@ -305,6 +316,7 @@ func (in *InPort) phase1() {
 // releasePacketSlots returns a fully transmitted packet's slots to the
 // free list (the transmission manager FSM's cleanup) and retires the
 // record itself to the pool. The caller must drop its reference.
+// damqvet:hotpath
 func (in *InPort) releasePacketSlots(p *rxPacket) {
 	for _, s := range p.slots {
 		in.ram.release(s)
@@ -314,6 +326,7 @@ func (in *InPort) releasePacketSlots(p *rxPacket) {
 
 // readByte fetches payload byte idx of p for the crossbar. The read must
 // chase, never pass, the write.
+// damqvet:hotpath
 func (in *InPort) readByte(p *rxPacket, idx int) byte {
 	if idx >= p.written {
 		panic(fmt.Sprintf("comcobb: read of byte %d before it was written (%d/%d)", idx, p.written, p.length))

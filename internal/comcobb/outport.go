@@ -33,6 +33,7 @@ func (out *OutPort) Busy() bool { return out.active }
 
 // grant connects this port to the head packet of src's queue for this
 // output (latched at phase 1; transmission starts next cycle).
+// damqvet:hotpath
 func (out *OutPort) grant(src *InPort) {
 	if out.active {
 		panic(fmt.Sprintf("comcobb: grant to busy output %d", out.id))
@@ -51,6 +52,7 @@ func (out *OutPort) grant(src *InPort) {
 }
 
 // phase0 emits this cycle's symbol onto the wire.
+// damqvet:hotpath
 func (out *OutPort) phase0() {
 	if !out.active || out.finished {
 		return
@@ -96,6 +98,7 @@ func (out *OutPort) phase0() {
 // phase1 performs end-of-packet cleanup: the transmission manager FSM
 // returns the packet's slots to the free list and frees the read port and
 // the output for re-arbitration in this same phase.
+// damqvet:hotpath
 func (out *OutPort) phase1() {
 	if !out.active || !out.finished {
 		return

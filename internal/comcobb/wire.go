@@ -26,9 +26,11 @@ type Link struct {
 }
 
 // drive places this cycle's symbol on the wire.
+// damqvet:hotpath
 func (l *Link) drive(s wireSymbol) { l.cur = s }
 
 // sample reads this cycle's symbol and clears the wire.
+// damqvet:hotpath
 func (l *Link) sample() wireSymbol {
 	s := l.cur
 	l.cur = wireSymbol{}
@@ -37,6 +39,7 @@ func (l *Link) sample() wireSymbol {
 
 // collect appends the current symbol to the sink (used by links that end
 // outside the modeled network).
+// damqvet:hotpath
 func (l *Link) collect() {
 	s := l.sample()
 	if s.start || s.valid {
@@ -48,6 +51,7 @@ func (l *Link) collect() {
 // to dst and returns the extended slice: start bit, header byte, length
 // byte, then data. Drivers encoding a stream of packets pass their script
 // buffer as dst so encoding reuses its capacity.
+// damqvet:hotpath
 func AppendWire(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 	if len(data) == 0 || len(data) > MaxDataBytes {
 		panic("comcobb: packet data must be 1..32 bytes")
@@ -70,6 +74,7 @@ func Wire(header byte, data []byte) []wireSymbol {
 // AppendWireCont appends a continuation packet's symbols to dst: start
 // bit, header byte, then data with no length byte — the receiving
 // router's circuit table must carry ContLength == len(data).
+// damqvet:hotpath
 func AppendWireCont(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 	if len(data) == 0 || len(data) > MaxDataBytes {
 		panic("comcobb: packet data must be 1..32 bytes")

@@ -214,7 +214,15 @@ type SolverRow struct {
 // AblationSolver solves representative Table 2 chains with both solvers
 // and measures how many long-clock cycles each chain needs to mix — the
 // analytic justification for the network simulator's warm-up period.
-func AblationSolver() ([]SolverRow, error) {
+//
+// clock supplies the wall-clock readings for the solver timing columns;
+// the CLI passes time.Now. A nil clock yields zero durations, keeping
+// the rendered table byte-identical across runs — tests and golden
+// outputs use that.
+func AblationSolver(clock func() time.Time) ([]SolverRow, error) {
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
 	cases := []struct {
 		name  string
 		kind  buffer.Kind
@@ -239,19 +247,19 @@ func AblationSolver() ([]SolverRow, error) {
 		row.Name = cse.name
 		row.States = chain.NumStates()
 
-		start := time.Now()
+		start := clock()
 		power, err := chain.Steady(markov.SolveOpts{})
 		if err != nil {
 			return nil, err
 		}
-		row.PowerTime = time.Since(start)
+		row.PowerTime = clock().Sub(start)
 
-		start = time.Now()
+		start = clock()
 		gs, err := chain.SteadyGaussSeidel(markov.SolveOpts{})
 		if err != nil {
 			return nil, err
 		}
-		row.GSTime = time.Since(start)
+		row.GSTime = clock().Sub(start)
 
 		for i := range power {
 			d := power[i] - gs[i]

@@ -70,7 +70,7 @@ func TestAblationArbitration(t *testing.T) {
 }
 
 func TestAblationSolver(t *testing.T) {
-	rows, err := AblationSolver()
+	rows, err := AblationSolver(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

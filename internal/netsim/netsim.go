@@ -339,6 +339,7 @@ func (s *Sim) SourceBacklogLen() int64 { return s.srcBacklog }
 // 0→1 occupancy transition the switch re-enters the active set: its
 // arbiter is fast-forwarded through every empty round it was skipped for,
 // and it is re-inserted into the stage's sorted index list.
+// damqvet:hotpath
 func (s *Sim) noteAccept(st, si int) {
 	swc := s.stages[st][si]
 	if swc.Len() != 1 || s.fullScan {
@@ -353,6 +354,7 @@ func (s *Sim) noteAccept(st, si int) {
 
 // activate inserts si into stage st's sorted active list. Insertion moves
 // at most the tail of the list; active sets are small by construction.
+// damqvet:hotpath
 func (s *Sim) activate(st, si int) {
 	lst := append(s.active[st], 0)
 	i := len(lst) - 1
@@ -384,6 +386,7 @@ func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
 
 // Step advances the network one cycle. res accumulates measurements when
 // measuring is true (the warmup loop passes false).
+// damqvet:hotpath
 func (s *Sim) Step(res *Result, measuring bool) {
 	nStages := s.top.Stages()
 
@@ -508,6 +511,7 @@ func (s *Sim) Step(res *Result, measuring bool) {
 
 // arbitrateOne runs one switch's arbitration and queues its granted
 // packets as moves.
+// damqvet:hotpath
 func (s *Sim) arbitrateOne(st, si int, swc *sw.Switch) {
 	s.grantScratch = swc.Arbitrate(s.probes[st][si], s.grantScratch[:0])
 	for _, g := range s.grantScratch {
@@ -517,6 +521,7 @@ func (s *Sim) arbitrateOne(st, si int, swc *sw.Switch) {
 }
 
 // enqueueSource routes a newborn packet toward the network.
+// damqvet:hotpath
 func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 	if measuring {
 		res.Generated++
@@ -540,6 +545,7 @@ func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 }
 
 // inject attempts to place p into its stage-0 buffer.
+// damqvet:hotpath
 func (s *Sim) inject(p *packet.Packet) bool {
 	swIdx, port := s.top.FirstStageSwitch(p.Source)
 	p.OutPort = s.top.RouteDigit(p.Dest, 0)
@@ -556,6 +562,7 @@ func (s *Sim) inject(p *packet.Packet) bool {
 // the measurement window count toward throughput; latency samples come
 // only from packets born inside the window, so warmup transients do not
 // bias the mean.
+// damqvet:hotpath
 func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 	if !measuring {
 		return

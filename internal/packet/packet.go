@@ -68,6 +68,7 @@ type Alloc struct {
 // New returns a packet with the next unique ID and Injected = -1,
 // reusing a recycled packet when one is available. Every field is reset,
 // so a recycled packet is indistinguishable from a fresh one.
+// damqvet:hotpath
 func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
 	a.next++
 	var p *Packet
@@ -92,6 +93,7 @@ func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
 // Recycle returns a retired packet to the free list. The caller must hold
 // the only remaining reference: the packet will be handed out again by a
 // future New with all fields rewritten.
+// damqvet:hotpath
 func (a *Alloc) Recycle(p *Packet) {
 	if p == nil {
 		return

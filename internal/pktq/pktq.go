@@ -24,6 +24,7 @@ type Queue struct {
 func (q *Queue) Len() int { return q.n }
 
 // Front returns the oldest packet without removing it, or nil if empty.
+// damqvet:hotpath
 func (q *Queue) Front() *packet.Packet {
 	if q.n == 0 {
 		return nil
@@ -33,6 +34,7 @@ func (q *Queue) Front() *packet.Packet {
 
 // At returns the i-th packet from the front (0 = Front) without removing
 // it. It panics if i is out of range, like a slice index would.
+// damqvet:hotpath
 func (q *Queue) At(i int) *packet.Packet {
 	if i < 0 || i >= q.n {
 		panic("pktq: index out of range")
@@ -41,6 +43,7 @@ func (q *Queue) At(i int) *packet.Packet {
 }
 
 // PushBack appends p to the queue.
+// damqvet:hotpath
 func (q *Queue) PushBack(p *packet.Packet) {
 	if q.n == len(q.buf) {
 		q.grow()
@@ -55,6 +58,7 @@ func (q *Queue) PushBack(p *packet.Packet) {
 const shrinkFloor = 64
 
 // PopFront removes and returns the oldest packet, or nil if empty.
+// damqvet:hotpath
 func (q *Queue) PopFront() *packet.Packet {
 	if q.n == 0 {
 		return nil

@@ -152,11 +152,19 @@ type view struct {
 	probe BlockProbe
 }
 
-func (v *view) Ports() (int, int)     { return v.s.cfg.Ports, v.s.cfg.Ports }
-func (v *view) InputLen(i int) int    { return v.s.bufs[i].Len() }
-func (v *view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
-func (v *view) MaxReads(i int) int    { return v.s.bufs[i].MaxReadsPerCycle() }
+// damqvet:hotpath
+func (v *view) Ports() (int, int) { return v.s.cfg.Ports, v.s.cfg.Ports }
 
+// damqvet:hotpath
+func (v *view) InputLen(i int) int { return v.s.bufs[i].Len() }
+
+// damqvet:hotpath
+func (v *view) QueueLen(i, o int) int { return v.s.bufs[i].QueueLen(o) }
+
+// damqvet:hotpath
+func (v *view) MaxReads(i int) int { return v.s.bufs[i].MaxReadsPerCycle() }
+
+// damqvet:hotpath
 func (v *view) Blocked(i, o int) bool {
 	if v.probe == nil {
 		return false
@@ -170,6 +178,7 @@ func (v *view) Blocked(i, o int) bool {
 
 // Arbitrate computes this cycle's matching. grants is reused storage
 // (pass nil to allocate).
+// damqvet:hotpath
 func (s *Switch) Arbitrate(probe BlockProbe, grants []arbiter.Grant) []arbiter.Grant {
 	s.v.s = s
 	s.v.probe = probe
@@ -181,6 +190,7 @@ func (s *Switch) Arbitrate(probe BlockProbe, grants []arbiter.Grant) []arbiter.G
 // PopGrant removes and returns the packet named by a grant from Arbitrate.
 // It panics if the grant no longer matches a head packet, which would mean
 // the caller mutated buffers between Arbitrate and PopGrant.
+// damqvet:hotpath
 func (s *Switch) PopGrant(g arbiter.Grant) *packet.Packet {
 	p := s.bufs[g.In].Pop(g.Out)
 	if p == nil {
@@ -194,6 +204,7 @@ func (s *Switch) PopGrant(g arbiter.Grant) *packet.Packet {
 // in. Under Discarding, a packet that does not fit is dropped and Offer
 // reports accepted=false. Under Blocking, Offer also reports false but the
 // caller is expected to retain the packet upstream.
+// damqvet:hotpath
 func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
 	b := s.bufs[in]
 	if !b.CanAccept(p) {
@@ -209,6 +220,7 @@ func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
 
 // CanAcceptAt reports whether input in could take p right now. Upstream
 // switches use this as their block probe under the blocking protocol.
+// damqvet:hotpath
 func (s *Switch) CanAcceptAt(in int, p *packet.Packet) bool {
 	return s.bufs[in].CanAccept(p)
 }

@@ -158,7 +158,7 @@ func BenchmarkChipNetworkPacket(b *testing.B) {
 
 // benchNetworkCycle measures the simulator's raw speed: one network cycle
 // of a 64×64 DAMQ Omega network at the given load.
-func benchNetworkCycle(b *testing.B, load float64) {
+func benchNetworkCycle(b *testing.B, load float64, opts ...damq.Option) {
 	sim, err := damq.NewNetwork(damq.NetworkConfig{
 		BufferKind: damq.DAMQ,
 		Capacity:   4,
@@ -166,7 +166,7 @@ func benchNetworkCycle(b *testing.B, load float64) {
 		Protocol:   damq.Blocking,
 		Traffic:    damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load},
 		Seed:       1,
-	})
+	}, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -186,3 +186,11 @@ func BenchmarkNetworkCycle(b *testing.B) { benchNetworkCycle(b, 0.5) }
 // switches are empty most cycles, so it measures how well the active-set
 // core avoids paying for idle switches.
 func BenchmarkNetworkCycleLowLoad(b *testing.B) { benchNetworkCycle(b, 0.2) }
+
+// BenchmarkNetworkCycleObserved is the dense case with an observer
+// attached (time series off): it tracks the overhead of the per-cycle
+// probes — counter bumps, per-queue depth sampling, stage gauges — which
+// must stay allocation-free like the unobserved path.
+func BenchmarkNetworkCycleObserved(b *testing.B) {
+	benchNetworkCycle(b, 0.5, damq.WithObserver(damq.NewObserver()))
+}

@@ -208,10 +208,14 @@ func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath, fun string) bo
 	return imported == pkgPath || strings.HasSuffix(imported, "/"+pkgPath)
 }
 
-// isTracePointer reports whether t is a pointer to a named type whose
-// name contains "Trace" — the shape of the chip model's event recorder
-// and of any future trace sink following the same convention.
-func isTracePointer(t types.Type) bool {
+// isSinkPointer reports whether t is a pointer to an observability
+// sink: a named type whose name contains "Trace", "Metrics", or
+// "Observer" (the chip's event recorder and the obs-layer probe
+// bundles), or any type declared in a package named "obs" (Counter,
+// Gauge, Histogram, and future instruments). Method calls on a sink
+// pointer must sit inside an `if sink != nil { ... }` guard; the guard
+// body is a cold region.
+func isSinkPointer(t types.Type) bool {
 	ptr, ok := t.Underlying().(*types.Pointer)
 	if !ok {
 		return false
@@ -220,7 +224,14 @@ func isTracePointer(t types.Type) bool {
 	if !ok {
 		return false
 	}
-	return strings.Contains(named.Obj().Name(), "Trace")
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Name() == "obs" {
+		return true
+	}
+	name := obj.Name()
+	return strings.Contains(name, "Trace") ||
+		strings.Contains(name, "Metrics") ||
+		strings.Contains(name, "Observer")
 }
 
 // paramObjects collects the receiver and parameter objects of a function

@@ -3,27 +3,47 @@
 // accept.
 package alloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"fixture/obs"
+)
 
 // Trace mirrors the repo's comcobb event recorder shape: a pointer to a
-// *Trace-named type is what the nil-guard rule recognizes.
+// *Trace-named type is one of the sinks the nil-guard rule recognizes.
 type Trace struct{ events []string }
 
 // Event records one event. Cold path by design.
 func (t *Trace) Event(s string) { t.events = append(t.events, s) }
 
+// RingMetrics mirrors the obs-layer probe bundles: the "Metrics" name
+// marks it a sink even though it lives outside an obs package.
+type RingMetrics struct {
+	Pushes *obs.Counter
+}
+
 // Ring is a toy hot structure.
 type Ring struct {
 	slots []int
 	trace *Trace
+	m     *RingMetrics
+	depth *obs.Gauge
 }
 
-// Push is clean: receiver-rooted append and a guarded trace call.
+// Push is clean: receiver-rooted append and guarded sink calls — the
+// classic trace guard plus the obs-style metrics-bundle and bare
+// instrument guards.
 // damqvet:hotpath
 func (r *Ring) Push(v int) {
 	r.slots = append(r.slots, v)
 	if r.trace != nil {
 		r.trace.Event("push")
+	}
+	if r.m != nil {
+		r.m.Pushes.Inc()
+	}
+	if r.depth != nil {
+		r.depth.Set(int64(len(r.slots)))
 	}
 }
 
@@ -65,7 +85,9 @@ func (r *Ring) Bad(v int) []int {
 	u := "u"
 	u += s                       // want "string concatenation"
 	f := func() int { return v } // want "closure literal in hot path"
-	r.trace.Event(u)             // want "trace method call not dominated by a nil-trace guard"
+	r.trace.Event(u)             // want "trace/metrics method call not dominated by a nil-sink guard"
+	r.m.Pushes.Inc()             // want "trace/metrics method call not dominated by a nil-sink guard"
+	r.depth.Set(1)               // want "trace/metrics method call not dominated by a nil-sink guard"
 	box(v)                       // want "argument boxed into interface parameter"
 	boxVariadic(v)               // want "argument boxed into interface parameter"
 	box(r)                       // pointer-shaped: no boxing allocation

@@ -11,10 +11,12 @@ import (
 // classes the benchmark gate has caught in the past: fmt.* calls, string
 // concatenation, closure literals, appends whose backing slice is not
 // reachable from the receiver or a parameter, concrete values boxed into
-// interface arguments, and trace-method calls outside a nil-trace guard.
+// interface arguments, and trace/metrics sink method calls outside a
+// nil-sink guard.
 //
-// Panic arguments and the bodies of `if trace != nil { ... }` guards are
-// cold regions: the rules do not apply there.
+// Panic arguments and the bodies of `if sink != nil { ... }` guards
+// (over a *Trace, a *Metrics bundle, or an obs instrument) are cold
+// regions: the rules do not apply there.
 func (c *Checker) zeroalloc(p *Package) {
 	for _, f := range p.Files {
 		ann := collectAnnots(c.Fset, f)
@@ -131,8 +133,8 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if _, isMethod := info.Selections[sel]; isMethod {
-			if tv, ok := info.Types[sel.X]; ok && isTracePointer(tv.Type) {
-				c.report(call.Pos(), ruleZeroalloc, "trace method call not dominated by a nil-trace guard; wrap it in `if trace != nil { ... }`")
+			if tv, ok := info.Types[sel.X]; ok && isSinkPointer(tv.Type) {
+				c.report(call.Pos(), ruleZeroalloc, "trace/metrics method call not dominated by a nil-sink guard; wrap it in `if sink != nil { ... }`")
 				return
 			}
 		}
@@ -185,7 +187,8 @@ func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr) {
 
 // coldSpans collects the source regions where allocation is acceptable:
 // panic arguments (the function is aborting) and the bodies of
-// `if trace != nil { ... }` guards (tracing is the opt-in debug path).
+// `if sink != nil { ... }` guards over trace/obs sinks (observability is
+// the opt-in path; guarded-off it never runs).
 func coldSpans(info *types.Info, body *ast.BlockStmt) []span {
 	var spans []span
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -197,7 +200,7 @@ func coldSpans(info *types.Info, body *ast.BlockStmt) []span {
 				}
 			}
 		case *ast.IfStmt:
-			if isNilTraceGuard(info, x.Cond) {
+			if isNilSinkGuard(info, x.Cond) {
 				spans = append(spans, span{x.Body.Pos(), x.Body.End()})
 			}
 		}
@@ -206,10 +209,13 @@ func coldSpans(info *types.Info, body *ast.BlockStmt) []span {
 	return spans
 }
 
-// isNilTraceGuard matches `t != nil` (either operand order) where t has
-// a pointer-to-Trace type; `if t := expr; t != nil` hits this too since
-// only the condition is inspected.
-func isNilTraceGuard(info *types.Info, cond ast.Expr) bool {
+// isNilSinkGuard matches `s != nil` (either operand order) where s has a
+// pointer-to-sink type (Trace/Metrics/Observer-named, or any obs-package
+// type); `if s := expr; s != nil` hits this too since only the condition
+// is inspected. Compound conditions are deliberately not recognized:
+// `m != nil && other` would make the cold region's reachability depend
+// on non-sink state, so hot code must nest the guard instead.
+func isNilSinkGuard(info *types.Info, cond ast.Expr) bool {
 	be, ok := cond.(*ast.BinaryExpr)
 	if !ok || be.Op != token.NEQ {
 		return false
@@ -219,7 +225,7 @@ func isNilTraceGuard(info *types.Info, cond ast.Expr) bool {
 		if tv, ok := info.Types[nilSide]; !ok || !tv.IsNil() {
 			continue
 		}
-		if tv, ok := info.Types[val]; ok && isTracePointer(tv.Type) {
+		if tv, ok := info.Types[val]; ok && isSinkPointer(tv.Type) {
 			return true
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"damq"
 	"damq/internal/experiments"
+	"damq/internal/netsim"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the machine-readable report to this path")
 	reps := flag.Int("reps", 0, "replicate the saturation measurement across this many seeds, run concurrently on -workers goroutines (0 = skip)")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	metricsPath := flag.String("metrics", "", "run one instrumented over-subscribed DAMQ simulation, write its metrics snapshot (with time series) to this path, and report the Figure-3-style curve recovered from it")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -137,6 +139,34 @@ func main() {
 	solver, err := experiments.AblationSolver(time.Now)
 	orDie(err)
 	fmt.Print(experiments.RenderSolver(solver))
+
+	if *metricsPath != "" {
+		section("Companion — Figure 3 from one instrumented run (observer time series)")
+		interval := sc.Measure / 100
+		if interval < 1 {
+			interval = 1
+		}
+		// Over-subscribed blocking DAMQ run with no warmup: the ramp from
+		// empty network to saturation sweeps through every operating point
+		// Figure 3 samples one load at a time.
+		_, snap, err := experiments.InstrumentedRun(netsim.Config{
+			BufferKind:    damq.DAMQ,
+			Capacity:      4,
+			Policy:        damq.SmartArbitration,
+			Protocol:      damq.Blocking,
+			Traffic:       netsim.TrafficSpec{Kind: netsim.Uniform, Load: 1.0},
+			WarmupCycles:  1,
+			MeasureCycles: sc.Warmup + sc.Measure,
+			Seed:          sc.Seed,
+		}, interval)
+		orDie(err)
+		curve := experiments.CurveFromIntervals("DAMQ/4 (one run)", 64, snap.Series)
+		fmt.Print(experiments.RenderFigure3([]damq.Figure3Series{curve}))
+		raw, err := snap.Encode()
+		orDie(err)
+		orDie(os.WriteFile(*metricsPath, raw, 0o644))
+		fmt.Printf("\nmetrics snapshot written to %s\n", *metricsPath)
+	}
 
 	if *reps > 0 {
 		section(fmt.Sprintf("Replication — saturation throughput across %d seeds", *reps))

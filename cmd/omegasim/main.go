@@ -12,6 +12,12 @@
 //
 // -scale quick|full selects run length (full is what EXPERIMENTS.md
 // records; quick is a fast smoke version).
+//
+// With -exp run, -metrics <file> attaches an observer and writes its
+// JSON snapshot (per-stage occupancy, per-queue depth, discard/block
+// counters, latency histograms); -metrics-interval N adds a cumulative
+// time series every N cycles. -check-metrics <file> validates a
+// previously written snapshot and exits — the CI smoke check.
 package main
 
 import (
@@ -21,10 +27,8 @@ import (
 	"time"
 
 	"damq"
-	"damq/internal/arbiter"
 	"damq/internal/experiments"
 	"damq/internal/plot"
-	"damq/internal/sw"
 )
 
 func main() {
@@ -40,7 +44,18 @@ func main() {
 	hot := flag.Float64("hot", 0, "run: hot-spot fraction (0 = uniform)")
 	seed := flag.Uint64("seed", 1988, "run: PRNG seed")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	metricsPath := flag.String("metrics", "", "run: attach an observer and write its JSON snapshot to this path")
+	metricsInterval := flag.Int64("metrics-interval", 0, "run: record a cumulative time-series point every N cycles in the -metrics snapshot (0 = off)")
+	checkMetrics := flag.String("check-metrics", "", "validate a -metrics JSON file and exit (CI smoke check)")
 	flag.Parse()
+
+	if *checkMetrics != "" {
+		raw, err := os.ReadFile(*checkMetrics)
+		orDie(err)
+		orDie(damq.ValidateMetricsJSON(raw))
+		fmt.Printf("%s: valid network metrics snapshot\n", *checkMetrics)
+		return
+	}
 
 	sc := experiments.Quick
 	switch *scaleName {
@@ -124,29 +139,29 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderRadix(rows))
 	case "run":
-		runOne(*kind, *load, *capacity, *protocol, *policy, *hot, sc)
+		runOne(*kind, *load, *capacity, *protocol, *policy, *hot, sc, *metricsPath, *metricsInterval)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 }
 
-func runOne(kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale) {
+func runOne(kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, metricsPath string, metricsInterval int64) {
 	kind, err := damq.ParseBufferKind(kindName)
 	orDie(err)
-	pol, err := arbiter.ParsePolicy(policyName)
+	pol, err := damq.ParseArbitrationPolicy(policyName)
 	orDie(err)
-	var proto sw.Protocol
-	switch protoName {
-	case "blocking":
-		proto = sw.Blocking
-	case "discarding":
-		proto = sw.Discarding
-	default:
-		fatal(fmt.Errorf("unknown protocol %q", protoName))
-	}
+	proto, err := damq.ParseProtocol(protoName)
+	orDie(err)
 	spec := damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load}
 	if hot > 0 {
 		spec = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: load, HotFraction: hot}
+	}
+	var opts []damq.Option
+	var observer *damq.Observer
+	if metricsPath != "" {
+		observer = damq.NewObserver()
+		observer.SetInterval(metricsInterval)
+		opts = append(opts, damq.WithObserver(observer))
 	}
 	res, err := damq.RunNetwork(damq.NetworkConfig{
 		BufferKind:    kind,
@@ -157,8 +172,14 @@ func runOne(kindName string, load float64, capacity int, protoName, policyName s
 		WarmupCycles:  sc.Warmup,
 		MeasureCycles: sc.Measure,
 		Seed:          sc.Seed,
-	})
+	}, opts...)
 	orDie(err)
+	if observer != nil {
+		raw, err := observer.Snapshot().Encode()
+		orDie(err)
+		orDie(os.WriteFile(metricsPath, raw, 0o644))
+		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
+	}
 	fmt.Printf("buffer              %v (%d slots)\n", kind, capacity)
 	fmt.Printf("protocol            %v, %v arbitration\n", proto, pol)
 	fmt.Printf("offered load        %.3f\n", res.OfferedLoad())

@@ -25,16 +25,43 @@ package damq
 import (
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
+	"damq/internal/cfgerr"
 	"damq/internal/chipnet"
 	"damq/internal/comcobb"
 	"damq/internal/eventsim"
 	"damq/internal/experiments"
 	"damq/internal/markov2x2"
 	"damq/internal/netsim"
+	"damq/internal/obs"
 	"damq/internal/packet"
 	"damq/internal/plot"
 	"damq/internal/stats"
 	"damq/internal/sw"
+)
+
+// Config validation -------------------------------------------------------
+//
+// Every Config in the library carries a Validate() error method, and every
+// validation failure wraps exactly one of these sentinels, so callers
+// classify errors with errors.Is instead of string matching.
+var (
+	// ErrBadKind reports an unknown buffer kind (constructor or parser).
+	ErrBadKind = cfgerr.ErrBadKind
+	// ErrBadCapacity reports a slot capacity that is non-positive or not
+	// divisible as the buffer organization requires (SAMQ/SAFC).
+	ErrBadCapacity = cfgerr.ErrBadCapacity
+	// ErrBadPorts reports a non-positive port or output count.
+	ErrBadPorts = cfgerr.ErrBadPorts
+	// ErrBadRadix reports an Omega-network radix/width mismatch.
+	ErrBadRadix = cfgerr.ErrBadRadix
+	// ErrBadLoad reports an offered load outside [0, 1].
+	ErrBadLoad = cfgerr.ErrBadLoad
+	// ErrBadTraffic reports an invalid traffic specification.
+	ErrBadTraffic = cfgerr.ErrBadTraffic
+	// ErrBadPolicy reports an unknown arbitration policy.
+	ErrBadPolicy = cfgerr.ErrBadPolicy
+	// ErrBadProtocol reports an unknown flow-control protocol.
+	ErrBadProtocol = cfgerr.ErrBadProtocol
 )
 
 // BufferKind identifies one of the four buffer organizations.
@@ -54,7 +81,9 @@ const (
 // BufferKinds lists all four kinds.
 func BufferKinds() []BufferKind { return buffer.Kinds() }
 
-// ParseBufferKind converts a name such as "damq" to its kind.
+// ParseBufferKind converts a name such as "damq" or "DAMQ" to its kind
+// (case-insensitive). Unknown names return an error wrapping ErrBadKind
+// that lists the valid names.
 func ParseBufferKind(s string) (BufferKind, error) { return buffer.ParseKind(s) }
 
 // Buffer is the behavioural interface shared by all four organizations
@@ -70,9 +99,24 @@ type DAMQBuffer = buffer.DAMQBuffer
 type Packet = packet.Packet
 
 // NewBuffer constructs a buffer of the given kind for an n-output switch
-// with the given total slot capacity.
-func NewBuffer(kind BufferKind, outputs, capacity int) (Buffer, error) {
-	return buffer.New(buffer.Config{Kind: kind, NumOutputs: outputs, Capacity: capacity})
+// with the given total slot capacity. With WithObserver the buffer is
+// wrapped so accept/reject/pop outcomes count under the buffer.*
+// metrics; without options the raw buffer is returned unchanged.
+func NewBuffer(kind BufferKind, outputs, capacity int, opts ...Option) (Buffer, error) {
+	b, err := buffer.New(buffer.Config{Kind: kind, NumOutputs: outputs, Capacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	op := applyOptions(opts)
+	if op.observer == nil {
+		return b, nil
+	}
+	r := op.observer.Registry()
+	return buffer.Instrument(b, &buffer.Metrics{
+		Accepted: r.Counter(buffer.MetricAccepted),
+		Rejected: r.Counter(buffer.MetricRejected),
+		Popped:   r.Counter(buffer.MetricPopped),
+	}), nil
 }
 
 // NewDAMQBuffer constructs the concrete DAMQ type directly.
@@ -89,6 +133,10 @@ const (
 	SmartArbitration = arbiter.Smart
 )
 
+// ParseArbitrationPolicy converts "smart" or "dumb" (any case) to a
+// policy. Unknown names return an error wrapping ErrBadPolicy.
+func ParseArbitrationPolicy(s string) (ArbitrationPolicy, error) { return arbiter.ParsePolicy(s) }
+
 // Protocol is the network flow-control discipline.
 type Protocol = sw.Protocol
 
@@ -98,14 +146,55 @@ const (
 	Blocking   = sw.Blocking
 )
 
+// ParseProtocol converts "blocking" or "discarding" (any case) to a
+// protocol. Unknown names return an error wrapping ErrBadProtocol.
+func ParseProtocol(s string) (Protocol, error) { return sw.ParseProtocol(s) }
+
 // Switch is one n×n switch (buffers + crossbar + arbiter).
 type Switch = sw.Switch
 
-// SwitchConfig parameterizes a switch.
-type SwitchConfig = sw.Config
+// SwitchConfig parameterizes a switch. It is owned by this package: the
+// previous release re-exported the internal sw.Config directly, which
+// let the facade's surface drift with internal refactors; struct
+// literals written against the old alias compile unchanged.
+type SwitchConfig struct {
+	Ports      int // n: number of input ports and of output ports
+	BufferKind BufferKind
+	Capacity   int // slots per input buffer
+	Policy     ArbitrationPolicy
+}
 
-// NewSwitch builds one switch.
-func NewSwitch(cfg SwitchConfig) (*Switch, error) { return sw.New(cfg) }
+// Validate checks the config; failures wrap the ErrBad* sentinels.
+func (cfg SwitchConfig) Validate() error { return cfg.internal().Validate() }
+
+func (cfg SwitchConfig) internal() sw.Config {
+	return sw.Config{
+		Ports:      cfg.Ports,
+		BufferKind: cfg.BufferKind,
+		Capacity:   cfg.Capacity,
+		Policy:     cfg.Policy,
+	}
+}
+
+// NewSwitch builds one switch. With WithObserver its grant, conflict,
+// blocked-head, and refused-offer counts register under the sw.* metrics.
+func NewSwitch(cfg SwitchConfig, opts ...Option) (*Switch, error) {
+	s, err := sw.New(cfg.internal())
+	if err != nil {
+		return nil, err
+	}
+	op := applyOptions(opts)
+	if op.observer != nil {
+		r := op.observer.Registry()
+		s.SetMetrics(&sw.Metrics{
+			Grants:       r.Counter(netsim.MetricGrants),
+			Conflicts:    r.Counter(netsim.MetricConflicts),
+			BlockedHeads: r.Counter(netsim.MetricBlockedHeads),
+			OfferRefused: r.Counter(netsim.MetricOfferRefused),
+		})
+	}
+	return s, nil
+}
 
 // DiscardProbability solves the paper's Table 2 Markov model exactly: the
 // steady-state probability that a packet arriving at a 2×2 discarding
@@ -141,17 +230,66 @@ type NetworkResult = netsim.Result
 // NetworkSim is an instantiated network; use Run or Step.
 type NetworkSim = netsim.Sim
 
-// NewNetwork builds an Omega-network simulation.
-func NewNetwork(cfg NetworkConfig) (*NetworkSim, error) { return netsim.New(cfg) }
-
-// RunNetwork builds and runs a simulation in one call.
-func RunNetwork(cfg NetworkConfig) (*NetworkResult, error) {
+// NewNetwork builds an Omega-network simulation. WithSeed overrides
+// cfg.Seed; WithObserver attaches per-cycle probes (per-stage occupancy,
+// per-queue depth, discard/block causes, latency histograms) whose
+// presence does not change the simulated results.
+func NewNetwork(cfg NetworkConfig, opts ...Option) (*NetworkSim, error) {
+	op := applyOptions(opts)
+	if op.seedSet {
+		cfg.Seed = op.seed
+	}
 	sim, err := netsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if op.observer != nil {
+		sim.SetObserver(op.observer)
+	}
+	return sim, nil
+}
+
+// RunNetwork builds and runs a simulation in one call, honoring the same
+// options as NewNetwork.
+func RunNetwork(cfg NetworkConfig, opts ...Option) (*NetworkResult, error) {
+	sim, err := NewNetwork(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return sim.Run(), nil
 }
+
+// Observability -----------------------------------------------------------
+
+// Observer collects metrics from the simulations it is attached to (via
+// WithObserver): an integer counter/gauge/histogram registry updated
+// allocation-free on simulation hot paths, plus an optional per-interval
+// time series (SetInterval). One observer should instrument one
+// simulation; attaching it never changes simulated results.
+type Observer = obs.Observer
+
+// MetricsSnapshot is the stable JSON export shape of an observer's
+// registry — what the CLIs write for -metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsHistogram is one exported histogram inside a snapshot.
+type MetricsHistogram = obs.HistogramSnapshot
+
+// MetricsInterval is one cumulative point of the optional time series.
+type MetricsInterval = obs.IntervalRecord
+
+// NewObserver returns an empty observer ready to pass to WithObserver.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// DecodeMetrics parses a snapshot previously written by
+// MetricsSnapshot.Encode (e.g. a -metrics file).
+func DecodeMetrics(raw []byte) (*MetricsSnapshot, error) { return obs.DecodeSnapshot(raw) }
+
+// ValidateMetricsJSON checks that raw is a well-formed network metrics
+// snapshot: all packet and arbitration counters present, per-stage
+// occupancy and level gauges present, and the injection-latency
+// histogram total equal to the delivered count.
+func ValidateMetricsJSON(raw []byte) error { return netsim.ValidateSnapshotJSON(raw) }
 
 // Chip-level model --------------------------------------------------------
 
@@ -171,8 +309,15 @@ type Route = comcobb.Route
 // ChipNetwork ticks multiple connected chips in lockstep.
 type ChipNetwork = comcobb.Network
 
-// NewChip builds a chip.
-func NewChip(cfg ChipConfig) *Chip { return comcobb.NewChip(cfg) }
+// NewChip builds a chip. WithObserver registers the chip.* cycle, grant,
+// and port counters (equivalent to setting cfg.Observer directly).
+func NewChip(cfg ChipConfig, opts ...Option) *Chip {
+	op := applyOptions(opts)
+	if op.observer != nil && cfg.Observer == nil {
+		cfg.Observer = op.observer
+	}
+	return comcobb.NewChip(cfg)
+}
 
 // ConnectChips wires output port out of chip a to input port in of b.
 func ConnectChips(a *Chip, out int, b *Chip, in int) { comcobb.Connect(a, out, b, in) }
@@ -209,29 +354,31 @@ var (
 func ReproduceTable1() (*experiments.Table1Result, error) { return experiments.Table1() }
 
 // ReproduceTable2 solves the full Markov table (Table 2), one chain per
-// worker goroutine (GOMAXPROCS workers).
-func ReproduceTable2() (*experiments.Table2Result, error) {
-	return experiments.Table2(nil, 0)
+// worker goroutine (WithWorkers bounds the count; 0 = GOMAXPROCS).
+func ReproduceTable2(opts ...Option) (*experiments.Table2Result, error) {
+	return experiments.Table2(nil, applyOptions(opts).workers)
 }
 
 // ReproduceTable3 runs the discarding-network experiment (Table 3).
-func ReproduceTable3(sc ExperimentScale) (*experiments.Table3Result, error) {
-	return experiments.Table3(sc)
+// Options (WithScale, WithSeed, WithWorkers) refine sc; the same applies
+// to every Reproduce*/Ablate* runner below.
+func ReproduceTable3(sc ExperimentScale, opts ...Option) (*experiments.Table3Result, error) {
+	return experiments.Table3(applyOptions(opts).scaleFor(sc))
 }
 
 // ReproduceTable4 runs the blocking-network latency table (Table 4).
-func ReproduceTable4(sc ExperimentScale) ([]experiments.LatencyRow, error) {
-	return experiments.Table4(sc)
+func ReproduceTable4(sc ExperimentScale, opts ...Option) ([]experiments.LatencyRow, error) {
+	return experiments.Table4(applyOptions(opts).scaleFor(sc))
 }
 
 // ReproduceTable5 varies slots per buffer for FIFO and DAMQ (Table 5).
-func ReproduceTable5(sc ExperimentScale) ([]experiments.LatencyRow, error) {
-	return experiments.Table5(sc)
+func ReproduceTable5(sc ExperimentScale, opts ...Option) ([]experiments.LatencyRow, error) {
+	return experiments.Table5(applyOptions(opts).scaleFor(sc))
 }
 
 // ReproduceTable6 runs the hot-spot experiment (Table 6).
-func ReproduceTable6(sc ExperimentScale) ([]experiments.Table6Row, error) {
-	return experiments.Table6(sc)
+func ReproduceTable6(sc ExperimentScale, opts ...Option) ([]experiments.Table6Row, error) {
+	return experiments.Table6(applyOptions(opts).scaleFor(sc))
 }
 
 // Figure3Series is one latency-vs-throughput curve from a load sweep.
@@ -242,38 +389,38 @@ type Figure3Point = stats.Point
 
 // ReproduceFigure3 sweeps offered load and returns latency/throughput
 // series (Figure 3).
-func ReproduceFigure3(kinds []BufferKind, capacity int, sc ExperimentScale) ([]Figure3Series, error) {
-	return experiments.Figure3(kinds, capacity, nil, sc)
+func ReproduceFigure3(kinds []BufferKind, capacity int, sc ExperimentScale, opts ...Option) ([]Figure3Series, error) {
+	return experiments.Figure3(kinds, capacity, nil, applyOptions(opts).scaleFor(sc))
 }
 
 // ReproduceVarLen runs the paper's variable-length-packet outlook as an
 // experiment: fixed 1-slot vs uniform 1-4-slot packets at equal storage.
-func ReproduceVarLen(sc ExperimentScale) ([]experiments.VarLenRow, error) {
-	return experiments.VarLen(sc)
+func ReproduceVarLen(sc ExperimentScale, opts ...Option) ([]experiments.VarLenRow, error) {
+	return experiments.VarLen(applyOptions(opts).scaleFor(sc))
 }
 
 // ReproduceAsync runs the asynchronous event-driven network experiment
 // (the paper's closing conjecture: variable-length packets arriving
 // asynchronously).
-func ReproduceAsync(sc ExperimentScale) ([]experiments.AsyncRow, error) {
-	return experiments.Async(sc)
+func ReproduceAsync(sc ExperimentScale, opts ...Option) ([]experiments.AsyncRow, error) {
+	return experiments.Async(applyOptions(opts).scaleFor(sc))
 }
 
 // AblateConnectivity quantifies what full read connectivity buys on top
 // of dynamic allocation (the DAFC variant).
-func AblateConnectivity(sc ExperimentScale) ([]experiments.ConnectivityRow, error) {
-	return experiments.AblationConnectivity(sc)
+func AblateConnectivity(sc ExperimentScale, opts ...Option) ([]experiments.ConnectivityRow, error) {
+	return experiments.AblationConnectivity(applyOptions(opts).scaleFor(sc))
 }
 
 // AblateArbitration compares smart vs dumb round-robin arbitration.
-func AblateArbitration(sc ExperimentScale) ([]experiments.ArbitrationRow, error) {
-	return experiments.AblationArbitration(sc)
+func AblateArbitration(sc ExperimentScale, opts ...Option) ([]experiments.ArbitrationRow, error) {
+	return experiments.AblationArbitration(applyOptions(opts).scaleFor(sc))
 }
 
 // AblateBurstiness compares independent packets against multi-packet
 // message traffic at equal offered load.
-func AblateBurstiness(sc ExperimentScale) ([]experiments.BurstRow, error) {
-	return experiments.AblationBurstiness(sc)
+func AblateBurstiness(sc ExperimentScale, opts ...Option) ([]experiments.BurstRow, error) {
+	return experiments.AblationBurstiness(applyOptions(opts).scaleFor(sc))
 }
 
 // AsyncNetworkConfig parameterizes the asynchronous event-driven

@@ -1,6 +1,8 @@
 package damq_test
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -113,6 +115,197 @@ func TestReproduceTable2Facade(t *testing.T) {
 	}
 	if len(res.Rows) != 16 {
 		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+// optionTestConfig is a small deterministic network config shared by the
+// option-combination tests.
+func optionTestConfig() damq.NetworkConfig {
+	return damq.NetworkConfig{
+		Inputs:        16,
+		BufferKind:    damq.DAMQ,
+		Capacity:      4,
+		Policy:        damq.SmartArbitration,
+		Protocol:      damq.Blocking,
+		Traffic:       damq.TrafficSpec{Kind: damq.UniformTraffic, Load: 0.6},
+		WarmupCycles:  100,
+		MeasureCycles: 400,
+		Seed:          3,
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	if k, err := damq.ParseBufferKind("DaMq"); err != nil || k != damq.DAMQ {
+		t.Errorf("case-insensitive parse failed: %v %v", k, err)
+	}
+	if _, err := damq.ParseBufferKind("ring"); !errors.Is(err, damq.ErrBadKind) {
+		t.Errorf("bad kind error = %v, want ErrBadKind", err)
+	} else if !strings.Contains(err.Error(), "damq") || !strings.Contains(err.Error(), "fifo") {
+		t.Errorf("bad kind error does not list valid names: %v", err)
+	}
+	if p, err := damq.ParseProtocol("Blocking"); err != nil || p != damq.Blocking {
+		t.Errorf("protocol parse: %v %v", p, err)
+	}
+	if _, err := damq.ParseProtocol("wormhole"); !errors.Is(err, damq.ErrBadProtocol) {
+		t.Errorf("bad protocol error = %v, want ErrBadProtocol", err)
+	}
+	if p, err := damq.ParseArbitrationPolicy("SMART"); err != nil || p != damq.SmartArbitration {
+		t.Errorf("policy parse: %v %v", p, err)
+	}
+	if _, err := damq.ParseArbitrationPolicy("psychic"); !errors.Is(err, damq.ErrBadPolicy) {
+		t.Errorf("bad policy error = %v, want ErrBadPolicy", err)
+	}
+
+	badSwitch := damq.SwitchConfig{
+		Ports: 4, BufferKind: damq.SAMQ, Capacity: 7, Policy: damq.SmartArbitration,
+	}
+	if err := badSwitch.Validate(); !errors.Is(err, damq.ErrBadCapacity) {
+		t.Errorf("switch validate = %v, want ErrBadCapacity", err)
+	}
+	if _, err := damq.NewSwitch(badSwitch); !errors.Is(err, damq.ErrBadCapacity) {
+		t.Errorf("NewSwitch = %v, want ErrBadCapacity", err)
+	}
+	if err := (damq.SwitchConfig{BufferKind: damq.DAMQ, Capacity: 4}).Validate(); !errors.Is(err, damq.ErrBadPorts) {
+		t.Errorf("zero-port switch = %v, want ErrBadPorts", err)
+	}
+
+	if err := (damq.NetworkConfig{}).Validate(); err != nil {
+		t.Errorf("zero network config must validate (defaults fill it): %v", err)
+	}
+	cfg := optionTestConfig()
+	cfg.Traffic.Load = 2
+	if _, err := damq.RunNetwork(cfg); !errors.Is(err, damq.ErrBadLoad) {
+		t.Errorf("overload = %v, want ErrBadLoad", err)
+	}
+	if _, err := damq.NewNetwork(damq.NetworkConfig{Radix: 3}); !errors.Is(err, damq.ErrBadRadix) {
+		t.Errorf("radix 3 = %v, want ErrBadRadix", err)
+	}
+	cfg = optionTestConfig()
+	cfg.Traffic = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: 0.5, HotFraction: 2}
+	if _, err := damq.NewNetwork(cfg); !errors.Is(err, damq.ErrBadTraffic) {
+		t.Errorf("hot fraction 2 = %v, want ErrBadTraffic", err)
+	}
+}
+
+func TestFacadeNetworkOptions(t *testing.T) {
+	base, err := damq.RunNetwork(optionTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithSeed overrides Config.Seed: seeding via option must reproduce
+	// the config-seeded run exactly.
+	reseeded := optionTestConfig()
+	reseeded.Seed = 999
+	viaOpt, err := damq.RunNetwork(reseeded, damq.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, viaOpt) {
+		t.Error("WithSeed(3) does not reproduce the Seed:3 run")
+	}
+
+	// WithObserver collects metrics without perturbing results.
+	o := damq.NewObserver()
+	o.SetInterval(50)
+	observed, err := damq.RunNetwork(optionTestConfig(), damq.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, observed) {
+		t.Error("observed run diverged from unobserved run")
+	}
+	raw, err := o.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := damq.ValidateMetricsJSON(raw); err != nil {
+		t.Errorf("snapshot invalid: %v", err)
+	}
+	snap, err := damq.DecodeMetrics(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Counter("net.packets.delivered"); v != base.Delivered {
+		t.Errorf("delivered counter = %d, want %d", v, base.Delivered)
+	}
+	if len(snap.Series) == 0 {
+		t.Error("interval series empty despite SetInterval")
+	}
+
+	// Options combine: observer + seed override together.
+	o2 := damq.NewObserver()
+	both, err := damq.RunNetwork(reseeded, damq.WithObserver(o2), damq.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, both) {
+		t.Error("combined WithObserver+WithSeed diverged")
+	}
+	if v, _ := o2.Snapshot().Counter("net.packets.delivered"); v != base.Delivered {
+		t.Error("combined-option observer missed deliveries")
+	}
+
+	// A nil observer option is a no-op, not a crash.
+	if _, err := damq.RunNetwork(optionTestConfig(), damq.WithObserver(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeObservedBufferAndChip(t *testing.T) {
+	o := damq.NewObserver()
+	buf, err := damq.NewBuffer(damq.DAMQ, 4, 2, damq.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := &damq.Packet{OutPort: i % 2, Slots: 1}
+		if err := buf.Accept(p); (err != nil) != (i == 2) {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+	}
+	buf.Pop(0)
+	snap := o.Snapshot()
+	for name, want := range map[string]int64{
+		"buffer.accepted": 2,
+		"buffer.rejected": 1,
+		"buffer.popped":   1,
+	} {
+		if got, _ := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	co := damq.NewObserver()
+	chip := damq.NewChip(damq.ChipConfig{}, damq.WithObserver(co))
+	damq.NewChipNetwork(chip).Run(7)
+	if v, _ := co.Snapshot().Counter("chip.cycles"); v != 7 {
+		t.Errorf("chip.cycles = %d, want 7", v)
+	}
+}
+
+func TestFacadeExperimentOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	// WithScale replaces the base scale; WithSeed then overrides its seed,
+	// so both spellings of "tinyScale at seed 2" agree.
+	direct, err := damq.ReproduceFigure3([]damq.BufferKind{damq.DAMQ}, 4, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := tinyScale
+	bumped.Seed = 77
+	viaOpts, err := damq.ReproduceFigure3([]damq.BufferKind{damq.DAMQ}, 4, damq.QuickScale,
+		damq.WithScale(bumped), damq.WithSeed(tinyScale.Seed), damq.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaOpts) {
+		t.Error("option-built scale does not reproduce the direct scale")
+	}
+	if _, err := damq.ReproduceTable2(damq.WithWorkers(2)); err != nil {
+		t.Errorf("table2 with workers: %v", err)
 	}
 }
 

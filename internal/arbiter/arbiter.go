@@ -18,7 +18,12 @@
 // receive up to one grant per queue.
 package arbiter
 
-import "fmt"
+import (
+	"fmt"
+
+	"damq/internal/cfgerr"
+	"damq/internal/obs"
+)
 
 // Policy selects the fairness scheme.
 type Policy int
@@ -43,15 +48,29 @@ func (p Policy) String() string {
 	}
 }
 
-// ParsePolicy converts "dumb" or "smart" to a Policy.
+// ParsePolicy converts "dumb" or "smart" (any case) to a Policy. The
+// error wraps cfgerr.ErrBadPolicy.
 func ParsePolicy(s string) (Policy, error) {
-	switch s {
+	switch lowerASCII(s) {
 	case "dumb":
 		return Dumb, nil
 	case "smart":
 		return Smart, nil
 	}
-	return 0, fmt.Errorf("arbiter: unknown policy %q (want dumb|smart)", s)
+	return 0, fmt.Errorf("arbiter: unknown policy %q (want dumb|smart): %w", s, cfgerr.ErrBadPolicy)
+}
+
+// lowerASCII lower-cases ASCII letters without a strings import.
+func lowerASCII(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
 }
 
 // View is what the arbiter can see of the switch each cycle: the state of
@@ -98,6 +117,13 @@ type Arbiter struct {
 	granted  []bool
 	qlen     []int  // current input row's queue lengths
 	sentRow  []bool // current input row's granted outputs
+
+	// Observability probes (nil when no observer is attached). Every use
+	// sits behind an `if x != nil` guard so the unobserved arbiter stays
+	// branch-predictable, allocation-free, and bit-identical.
+	mGrants    *obs.Counter // crossbar connections granted
+	mConflicts *obs.Counter // occupied queues that lost because the output was taken
+	mBlocked   *obs.Counter // queue heads refused by the downstream buffer
 }
 
 // New constructs an arbiter for a switch with the given port counts.
@@ -120,6 +146,14 @@ func New(policy Policy, inputs, outputs int) *Arbiter {
 
 // Policy returns the arbitration policy in use.
 func (a *Arbiter) Policy() Policy { return a.policy }
+
+// SetMetrics attaches (or, with nils, detaches) the grant/conflict/
+// blocked-head counters. Cold path: call before simulation starts.
+func (a *Arbiter) SetMetrics(grants, conflicts, blocked *obs.Counter) {
+	a.mGrants = grants
+	a.mConflicts = conflicts
+	a.mBlocked = blocked
+}
 
 // AdvanceIdle fast-forwards the arbiter through cycles rounds in which
 // every queue was empty, producing exactly the state Arbitrate would have
@@ -194,8 +228,25 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 		reads := v.MaxReads(i)
 		for r := 0; r < reads; r++ {
 			best := -1
+			// The three rejection tests keep the pre-observability
+			// short-circuit order (taken output, empty queue, blocked head)
+			// so the unobserved path performs the exact same view calls.
 			for o := 0; o < a.outputs; o++ {
-				if outTaken[o] || qlen[o] == 0 || v.Blocked(i, o) {
+				if outTaken[o] {
+					if a.mConflicts != nil {
+						if qlen[o] > 0 {
+							a.mConflicts.Inc()
+						}
+					}
+					continue
+				}
+				if qlen[o] == 0 {
+					continue
+				}
+				if v.Blocked(i, o) {
+					if a.mBlocked != nil {
+						a.mBlocked.Inc()
+					}
 					continue
 				}
 				if best == -1 || better(a.policy, stale, qlen, o, best) {
@@ -212,6 +263,9 @@ func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 				firstGranted = i
 			}
 			dst = append(dst, Grant{In: i, Out: best})
+			if a.mGrants != nil {
+				a.mGrants.Inc()
+			}
 		}
 		// Update this row's stale counts — final once its examination
 		// ends, since later rows cannot grant to it: queues holding

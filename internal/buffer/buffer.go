@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"damq/internal/cfgerr"
 	"damq/internal/packet"
 )
 
@@ -60,14 +61,25 @@ func Kinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ} }
 // AllKinds lists every constructible kind, including the DAFC ablation.
 func AllKinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ, DAFC} }
 
-// ParseKind converts a name like "damq" to its Kind.
+// ParseKind converts a name like "damq" (any case) to its Kind. Its
+// error lists every valid name and wraps cfgerr.ErrBadKind so CLIs can
+// classify it without string matching.
 func ParseKind(s string) (Kind, error) {
 	for i, n := range kindNames {
 		if equalFold(s, n) {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("buffer: unknown kind %q (want fifo|samq|safc|damq)", s)
+	valid := ""
+	for i, n := range kindNames {
+		if i > 0 {
+			valid += "|"
+		}
+		for j := 0; j < len(n); j++ {
+			valid += string(n[j] | 0x20)
+		}
+	}
+	return 0, fmt.Errorf("buffer: unknown kind %q (want %s): %w", s, valid, cfgerr.ErrBadKind)
 }
 
 // equalFold is a tiny ASCII-only case-insensitive comparison, avoiding a
@@ -152,32 +164,46 @@ type Config struct {
 	Capacity   int // total slots at this input port
 }
 
+// Validate checks the config without constructing anything. Errors wrap
+// the cfgerr sentinels (ErrBadPorts, ErrBadCapacity, ErrBadKind); the
+// same convention holds for sw.Config, netsim.Config, and
+// comcobb.Config.
+func (cfg Config) Validate() error {
+	if cfg.Kind < FIFO || int(cfg.Kind) >= len(kindNames) {
+		return fmt.Errorf("buffer: unknown kind %v: %w", cfg.Kind, cfgerr.ErrBadKind)
+	}
+	if cfg.NumOutputs <= 0 {
+		return fmt.Errorf("buffer: NumOutputs must be positive, got %d: %w", cfg.NumOutputs, cfgerr.ErrBadPorts)
+	}
+	if cfg.Capacity <= 0 {
+		return fmt.Errorf("buffer: Capacity must be positive, got %d: %w", cfg.Capacity, cfgerr.ErrBadCapacity)
+	}
+	if (cfg.Kind == SAMQ || cfg.Kind == SAFC) && cfg.Capacity%cfg.NumOutputs != 0 {
+		return fmt.Errorf("buffer: %v capacity %d not divisible by %d outputs: %w",
+			cfg.Kind, cfg.Capacity, cfg.NumOutputs, cfgerr.ErrBadCapacity)
+	}
+	return nil
+}
+
 // New constructs a buffer. SAMQ and SAFC statically partition Capacity
 // across NumOutputs queues, so Capacity must be a positive multiple of
 // NumOutputs (the paper: "they can only have an even number of slots");
 // FIFO and DAMQ accept any positive capacity.
 func New(cfg Config) (Buffer, error) {
-	if cfg.NumOutputs <= 0 {
-		return nil, fmt.Errorf("buffer: NumOutputs must be positive, got %d", cfg.NumOutputs)
-	}
-	if cfg.Capacity <= 0 {
-		return nil, fmt.Errorf("buffer: Capacity must be positive, got %d", cfg.Capacity)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	switch cfg.Kind {
 	case FIFO:
 		return newFIFO(cfg.NumOutputs, cfg.Capacity), nil
 	case SAMQ, SAFC:
-		if cfg.Capacity%cfg.NumOutputs != 0 {
-			return nil, fmt.Errorf("buffer: %v capacity %d not divisible by %d outputs",
-				cfg.Kind, cfg.Capacity, cfg.NumOutputs)
-		}
 		return newStatic(cfg.Kind, cfg.NumOutputs, cfg.Capacity), nil
 	case DAMQ:
 		return NewDAMQ(cfg.NumOutputs, cfg.Capacity), nil
 	case DAFC:
 		return &dafc{DAMQBuffer: NewDAMQ(cfg.NumOutputs, cfg.Capacity)}, nil
 	default:
-		return nil, fmt.Errorf("buffer: unknown kind %v", cfg.Kind)
+		return nil, fmt.Errorf("buffer: unknown kind %v: %w", cfg.Kind, cfgerr.ErrBadKind)
 	}
 }
 

@@ -1,0 +1,30 @@
+// Package cfgerr defines the sentinel validation errors shared by the
+// simulator Config types (netsim.Config, sw.Config, comcobb.Config,
+// buffer.Config). Every Validate method and parser wraps one of these
+// with %w and a package-qualified message, so callers — the facade, the
+// CLIs, and tests — classify failures with errors.Is instead of matching
+// ad-hoc error strings.
+package cfgerr
+
+import "errors"
+
+var (
+	// ErrBadKind reports an unknown buffer organization.
+	ErrBadKind = errors.New("invalid buffer kind")
+	// ErrBadCapacity reports a slot count that is non-positive or not
+	// storable by the selected organization (e.g. SAMQ capacity not
+	// divisible by the port count).
+	ErrBadCapacity = errors.New("invalid capacity")
+	// ErrBadPorts reports a non-positive port or output count.
+	ErrBadPorts = errors.New("invalid port count")
+	// ErrBadRadix reports an unbuildable radix/width combination.
+	ErrBadRadix = errors.New("invalid radix or network width")
+	// ErrBadLoad reports an offered load outside [0, 1].
+	ErrBadLoad = errors.New("load out of range")
+	// ErrBadTraffic reports an unknown or inconsistent traffic spec.
+	ErrBadTraffic = errors.New("invalid traffic spec")
+	// ErrBadPolicy reports an unknown arbitration policy name.
+	ErrBadPolicy = errors.New("invalid arbitration policy")
+	// ErrBadProtocol reports an unknown flow-control protocol name.
+	ErrBadProtocol = errors.New("invalid protocol")
+)

@@ -1,6 +1,11 @@
 package comcobb
 
-import "fmt"
+import (
+	"fmt"
+
+	"damq/internal/cfgerr"
+	"damq/internal/obs"
+)
 
 // DefaultSlots is the per-input-port slot count used when a Config leaves
 // it zero: 12 slots, the paper's "96 static cells on a single bus line
@@ -13,6 +18,11 @@ type Config struct {
 	Slots int
 	// Trace, when non-nil, records cycle/phase events.
 	Trace *Trace
+	// Observer, when non-nil, registers the chip.* counters (cycles,
+	// grants, rx/tx packets) in its registry; if a Trace is also present
+	// the trace counts per-unit events there too. Like Trace, a nil
+	// Observer costs nothing on the cycle path.
+	Observer *obs.Observer
 	// MINMode relaxes the coprocessor rule that input port i never
 	// routes to output port i: in a multistage interconnection network
 	// the two sides of a port pair face different neighbors, so the turn
@@ -20,11 +30,24 @@ type Config struct {
 	MINMode bool
 }
 
+// Validate checks the config under the repo-wide sentinel-error
+// convention: an explicit Slots below MaxSlotsPerPacket (a buffer that
+// cannot hold one full packet) wraps cfgerr.ErrBadCapacity. Zero Slots
+// is valid and means DefaultSlots.
+func (cfg Config) Validate() error {
+	if cfg.Slots != 0 && cfg.Slots < MaxSlotsPerPacket {
+		return fmt.Errorf("comcobb: need at least %d slots per buffer, got %d: %w",
+			MaxSlotsPerPacket, cfg.Slots, cfgerr.ErrBadCapacity)
+	}
+	return nil
+}
+
 // Chip is one ComCoBB communication coprocessor: five port pairs (four
 // network links plus the processor interface) around a 5×5 crossbar.
 type Chip struct {
 	cycle    int64
 	trace    *Trace
+	m        *chipMetrics // nil when no observer is attached
 	inPorts  [NumPorts]*InPort
 	outPorts [NumPorts]*OutPort
 	inLinks  [NumPorts]*Link
@@ -34,14 +57,22 @@ type Chip struct {
 
 // NewChip builds a chip with fresh, unconnected links on every port.
 func NewChip(cfg Config) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	slots := cfg.Slots
 	if slots == 0 {
 		slots = DefaultSlots
 	}
-	if slots < MaxSlotsPerPacket {
-		panic(fmt.Sprintf("comcobb: need at least %d slots per buffer, got %d", MaxSlotsPerPacket, slots))
-	}
 	c := &Chip{trace: cfg.Trace}
+	if cfg.Observer != nil {
+		c.m = newChipMetrics(cfg.Observer)
+		if c.trace != nil {
+			// Generalized tracing: the event recorder also counts events
+			// per unit in the observer's registry.
+			c.trace.Metrics = cfg.Observer.Registry()
+		}
+	}
 	for i := 0; i < NumPorts; i++ {
 		c.inLinks[i] = &Link{}
 		c.outLinks[i] = &Link{}
@@ -128,6 +159,9 @@ func (c *Chip) phase1() {
 	}
 	c.arbitrate()
 	c.cycle++
+	if c.m != nil {
+		c.m.cycles.Inc()
+	}
 }
 
 // Tick advances a single standalone chip one clock cycle. Multi-chip
@@ -172,6 +206,9 @@ func (c *Chip) arbitrate() {
 		}
 		if best >= 0 {
 			c.outPorts[best].grant(in)
+			if c.m != nil {
+				c.m.grants.Inc()
+			}
 		}
 	}
 	c.prio = (c.prio + 1) % NumPorts

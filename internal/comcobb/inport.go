@@ -250,6 +250,9 @@ func (in *InPort) writeData(b byte) {
 		if t := in.chip.trace; t != nil {
 			t.add(in.chip.cycle, 0, in.name, "EOP: %d bytes in %d slot(s)", p.length, len(p.slots))
 		}
+		if in.chip.m != nil {
+			in.chip.m.rxPackets.Inc()
+		}
 		in.cur = nil
 		in.state = rxIdle
 	}

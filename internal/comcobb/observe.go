@@ -1,0 +1,35 @@
+package comcobb
+
+import "damq/internal/obs"
+
+// Chip metric names, registered when a Config carries an Observer.
+const (
+	// MetricChipCycles counts clock cycles executed.
+	MetricChipCycles = "chip.cycles"
+	// MetricChipGrants counts crossbar grants latched by the arbiter.
+	MetricChipGrants = "chip.grants"
+	// MetricChipRxPackets counts packets fully received into a buffer
+	// (the write counter's EOP events).
+	MetricChipRxPackets = "chip.rx_packets"
+	// MetricChipTxPackets counts packets fully transmitted and cleaned up.
+	MetricChipTxPackets = "chip.tx_packets"
+)
+
+// chipMetrics is the chip's probe set; every hot-path use is nil-guarded
+// like the chip's *Trace, so an unobserved chip runs no instrument code.
+type chipMetrics struct {
+	cycles    *obs.Counter
+	grants    *obs.Counter
+	rxPackets *obs.Counter
+	txPackets *obs.Counter
+}
+
+func newChipMetrics(o *obs.Observer) *chipMetrics {
+	r := o.Registry()
+	return &chipMetrics{
+		cycles:    r.Counter(MetricChipCycles),
+		grants:    r.Counter(MetricChipGrants),
+		rxPackets: r.Counter(MetricChipRxPackets),
+		txPackets: r.Counter(MetricChipTxPackets),
+	}
+}

@@ -108,4 +108,7 @@ func (out *OutPort) phase1() {
 	out.active = false
 	out.src = nil
 	out.pkt = nil
+	if out.chip.m != nil {
+		out.chip.m.txPackets.Inc()
+	}
 }

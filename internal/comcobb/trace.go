@@ -1,6 +1,10 @@
 package comcobb
 
-import "fmt"
+import (
+	"fmt"
+
+	"damq/internal/obs"
+)
 
 // Event is one timestamped occurrence inside the chip, at clock-cycle and
 // phase resolution — the unit Table 1 is written in.
@@ -18,9 +22,15 @@ func (e Event) String() string {
 
 // Trace records chip events for timing assertions and the cmd/comcobb
 // demonstration. A nil *Trace discards events, so tracing costs nothing
-// when disabled.
+// when disabled — the nil-guard convention the obs layer generalizes.
 type Trace struct {
 	Events []Event
+	// Metrics, when non-nil, additionally counts each event under
+	// "chip.events.<unit>" in an observer's registry (NewChip sets it
+	// when a Config carries both a Trace and an Observer). Counting
+	// happens inside add, which only runs behind the trace's own nil
+	// guard, so it inherits the trace's cold-path status.
+	Metrics *obs.Registry
 }
 
 // add records one event.
@@ -29,6 +39,9 @@ func (t *Trace) add(cycle int64, phase int, unit, format string, args ...any) {
 		return
 	}
 	t.Events = append(t.Events, Event{Cycle: cycle, Phase: phase, Unit: unit, Msg: fmt.Sprintf(format, args...)})
+	if t.Metrics != nil {
+		t.Metrics.Counter("chip.events." + unit).Inc()
+	}
 }
 
 // Find returns the first event whose unit and message match exactly, and

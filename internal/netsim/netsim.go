@@ -35,6 +35,7 @@ import (
 
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
+	"damq/internal/cfgerr"
 	"damq/internal/omega"
 	"damq/internal/packet"
 	"damq/internal/pktq"
@@ -89,6 +90,57 @@ type Config struct {
 	WarmupCycles   int64
 	MeasureCycles  int64
 	Seed           uint64
+}
+
+// Validate checks the config (after default-filling, so a zero Config is
+// valid) under the repo-wide sentinel-error convention: every failure
+// wraps one of the internal/cfgerr sentinels (ErrBadRadix, ErrBadKind,
+// ErrBadCapacity, ErrBadPolicy, ErrBadProtocol, ErrBadLoad,
+// ErrBadTraffic) so callers classify with errors.Is. New calls it first;
+// CLIs may call it directly for early flag feedback.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if _, err := omega.New(c.Radix, c.Inputs); err != nil {
+		return fmt.Errorf("netsim: %v: %w", err, cfgerr.ErrBadRadix)
+	}
+	bufCfg := buffer.Config{Kind: c.BufferKind, NumOutputs: c.Radix, Capacity: c.Capacity}
+	if err := bufCfg.Validate(); err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
+	if c.Policy != arbiter.Dumb && c.Policy != arbiter.Smart {
+		return fmt.Errorf("netsim: unknown policy %v: %w", c.Policy, cfgerr.ErrBadPolicy)
+	}
+	if c.Protocol != sw.Discarding && c.Protocol != sw.Blocking {
+		return fmt.Errorf("netsim: unknown protocol %v: %w", c.Protocol, cfgerr.ErrBadProtocol)
+	}
+	if c.Traffic.Load < 0 || c.Traffic.Load > 1 {
+		return fmt.Errorf("netsim: load %v out of [0,1]: %w", c.Traffic.Load, cfgerr.ErrBadLoad)
+	}
+	// Exercise the real traffic constructor so pattern-specific rules
+	// (hot fraction range, permutation shape, burst length) cannot drift
+	// from what New accepts. The throwaway source is seeded from the
+	// caller's own seed and discarded.
+	if _, err := c.buildPattern(rng.New(c.Seed)); err != nil {
+		return fmt.Errorf("%v: %w", err, cfgerr.ErrBadTraffic)
+	}
+	return nil
+}
+
+// buildPattern constructs the workload's traffic pattern; both Validate
+// and New route through it so they cannot disagree.
+func (c Config) buildPattern(src *rng.Source) (traffic.Pattern, error) {
+	switch c.Traffic.Kind {
+	case Uniform:
+		return traffic.NewUniform(c.Inputs, c.Traffic.Load, src)
+	case HotSpot:
+		return traffic.NewHotSpot(c.Inputs, c.Traffic.Load,
+			c.Traffic.HotFraction, c.Traffic.HotDest, src)
+	case Permutation:
+		return traffic.NewPermutation(c.Traffic.Perm, c.Traffic.Load, src)
+	case Bursty:
+		return traffic.NewBursty(c.Inputs, c.Traffic.Load, c.Traffic.MeanBurst, src)
+	}
+	return nil, fmt.Errorf("netsim: unknown traffic kind %d", c.Traffic.Kind)
 }
 
 // withDefaults fills unset fields with the paper's values.
@@ -227,6 +279,12 @@ type Sim struct {
 
 	grantScratch []arbiter.Grant
 	moveScratch  []move
+
+	// metrics is the attached observability probe set (SetObserver); nil
+	// means unobserved. Every hot-path use is nil-guarded, so detached
+	// runs execute no instrument code and stay bit-identical — the
+	// pattern damqvet's zeroalloc rule polices.
+	metrics *netMetrics
 }
 
 type move struct {
@@ -239,12 +297,12 @@ type move struct {
 // New validates cfg and builds the network.
 func New(cfg Config) (*Sim, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	top, err := omega.New(cfg.Radix, cfg.Inputs)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Traffic.Load < 0 || cfg.Traffic.Load > 1 {
-		return nil, fmt.Errorf("netsim: load %v out of [0,1]", cfg.Traffic.Load)
 	}
 	s := &Sim{cfg: cfg, top: top}
 
@@ -253,19 +311,7 @@ func New(cfg Config) (*Sim, error) {
 	s.phase = master.Split()
 	lenSrc := master.Split()
 
-	switch cfg.Traffic.Kind {
-	case Uniform:
-		s.pattern, err = traffic.NewUniform(cfg.Inputs, cfg.Traffic.Load, trafficSrc)
-	case HotSpot:
-		s.pattern, err = traffic.NewHotSpot(cfg.Inputs, cfg.Traffic.Load,
-			cfg.Traffic.HotFraction, cfg.Traffic.HotDest, trafficSrc)
-	case Permutation:
-		s.pattern, err = traffic.NewPermutation(cfg.Traffic.Perm, cfg.Traffic.Load, trafficSrc)
-	case Bursty:
-		s.pattern, err = traffic.NewBursty(cfg.Inputs, cfg.Traffic.Load, cfg.Traffic.MeanBurst, trafficSrc)
-	default:
-		err = fmt.Errorf("netsim: unknown traffic kind %d", cfg.Traffic.Kind)
-	}
+	s.pattern, err = cfg.buildPattern(trafficSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -453,6 +499,9 @@ func (s *Sim) Step(res *Result, measuring bool) {
 			s.inFlight--
 			if measuring {
 				res.DiscardedInNet++
+				if s.metrics != nil {
+					s.metrics.discardedNet.Inc()
+				}
 			}
 			s.alloc.Recycle(mv.p)
 			mv.p = nil
@@ -480,6 +529,9 @@ func (s *Sim) Step(res *Result, measuring bool) {
 				s.srcBacklog--
 				if measuring {
 					res.Injected++
+					if s.metrics != nil {
+						s.metrics.injected.Inc()
+					}
 				}
 			}
 		}
@@ -505,6 +557,9 @@ func (s *Sim) Step(res *Result, measuring bool) {
 			}
 		}
 		res.SourceBacklog.Add(float64(backlog))
+		if s.metrics != nil {
+			s.sampleMetrics(backlog)
+		}
 	}
 	s.cycle++
 }
@@ -525,6 +580,9 @@ func (s *Sim) arbitrateOne(st, si int, swc *sw.Switch) {
 func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 	if measuring {
 		res.Generated++
+		if s.metrics != nil {
+			s.metrics.generated.Inc()
+		}
 	}
 	switch s.cfg.Protocol {
 	case sw.Blocking:
@@ -534,10 +592,16 @@ func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 		if s.inject(p) {
 			if measuring {
 				res.Injected++
+				if s.metrics != nil {
+					s.metrics.injected.Inc()
+				}
 			}
 		} else {
 			if measuring {
 				res.DiscardedAtEntry++
+				if s.metrics != nil {
+					s.metrics.discardedEntry.Inc()
+				}
 			}
 			s.alloc.Recycle(p)
 		}
@@ -568,6 +632,14 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 		return
 	}
 	res.Delivered++
+	if s.metrics != nil {
+		// The injection-based latency is observed for every measured
+		// delivery (it needs no RNG), so its histogram total always equals
+		// the delivered counter — the invariant ValidateSnapshot checks.
+		c := int64(s.cfg.ClocksPerCycle)
+		s.metrics.delivered.Inc()
+		s.metrics.latInjected.Observe((s.cycle+1)*c - (p.Injected+1)*c)
+	}
 	if p.Born < s.warmupBoundary {
 		return
 	}
@@ -581,6 +653,12 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 	res.LatencyHist.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromBorn.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromInjection.Add(float64(deliveryClock - injectClock))
+	if s.metrics != nil {
+		// Born-based latency reuses the phase draw above, so observing it
+		// consumes no extra randomness: observed and unobserved runs stay
+		// bit-identical.
+		s.metrics.latBorn.Observe(deliveryClock - bornClock)
+	}
 	if p.Hot {
 		res.HotLatency.Add(float64(deliveryClock - bornClock))
 	} else {

@@ -23,6 +23,8 @@ import (
 
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
+	"damq/internal/cfgerr"
+	"damq/internal/obs"
 	"damq/internal/packet"
 )
 
@@ -49,12 +51,63 @@ func (p Protocol) String() string {
 	}
 }
 
+// ParseProtocol converts "discarding" or "blocking" (any case) to a
+// Protocol. The error wraps cfgerr.ErrBadProtocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch {
+	case equalFold(s, "discarding"):
+		return Discarding, nil
+	case equalFold(s, "blocking"):
+		return Blocking, nil
+	}
+	return 0, fmt.Errorf("sw: unknown protocol %q (want discarding|blocking): %w", s, cfgerr.ErrBadProtocol)
+}
+
+// equalFold is an ASCII-only case-insensitive comparison, mirroring the
+// one in package buffer to keep this package strings-free.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
 // Config describes one switch.
 type Config struct {
 	Ports      int // n: number of input ports and of output ports
 	BufferKind buffer.Kind
 	Capacity   int // slots per input buffer
 	Policy     arbiter.Policy
+}
+
+// Validate checks the config using the repo-wide sentinel-error
+// convention (see internal/cfgerr): port-count errors wrap ErrBadPorts,
+// buffer shape errors wrap ErrBadKind/ErrBadCapacity, policy errors
+// wrap ErrBadPolicy.
+func (cfg Config) Validate() error {
+	if cfg.Ports <= 0 {
+		return fmt.Errorf("sw: ports must be positive, got %d: %w", cfg.Ports, cfgerr.ErrBadPorts)
+	}
+	if cfg.Policy != arbiter.Dumb && cfg.Policy != arbiter.Smart {
+		return fmt.Errorf("sw: unknown policy %v: %w", cfg.Policy, cfgerr.ErrBadPolicy)
+	}
+	return buffer.Config{
+		Kind:       cfg.BufferKind,
+		NumOutputs: cfg.Ports,
+		Capacity:   cfg.Capacity,
+	}.Validate()
 }
 
 // Switch is one n×n switch instance.
@@ -70,13 +123,40 @@ type Switch struct {
 	// v is the reusable arbiter view: constructing it per Arbitrate call
 	// would heap-allocate one adapter per switch per network cycle.
 	v view
+	// m holds the observability probes; nil (the default) keeps every
+	// hot-path probe behind a never-taken branch.
+	m *Metrics
+}
+
+// Metrics is the instrument set one observed switch maintains. Grant,
+// conflict, and blocked-head counts are delegated to the arbiter; the
+// refused-offer count is the switch's own admission signal (under
+// discarding these are drops at this switch, under blocking they are
+// stage-0 injection stalls — in-network heads are never offered while
+// blocked). Fields may be nil individually.
+type Metrics struct {
+	Grants       *obs.Counter
+	Conflicts    *obs.Counter
+	BlockedHeads *obs.Counter
+	OfferRefused *obs.Counter
+}
+
+// SetMetrics attaches (nil detaches) the switch's instrument set and
+// forwards the arbitration counters to the arbiter. Cold path.
+func (s *Switch) SetMetrics(m *Metrics) {
+	s.m = m
+	if m == nil {
+		s.arb.SetMetrics(nil, nil, nil)
+		return
+	}
+	s.arb.SetMetrics(m.Grants, m.Conflicts, m.BlockedHeads)
 }
 
 // New builds a switch. It returns an error for invalid buffer configs
 // (e.g. SAMQ capacity not divisible by the port count).
 func New(cfg Config) (*Switch, error) {
-	if cfg.Ports <= 0 {
-		return nil, fmt.Errorf("sw: ports must be positive, got %d", cfg.Ports)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Switch{
 		cfg: cfg,
@@ -208,6 +288,11 @@ func (s *Switch) PopGrant(g arbiter.Grant) *packet.Packet {
 func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
 	b := s.bufs[in]
 	if !b.CanAccept(p) {
+		if s.m != nil {
+			if s.m.OfferRefused != nil {
+				s.m.OfferRefused.Inc()
+			}
+		}
 		return false
 	}
 	if err := b.Accept(p); err != nil {

@@ -1,0 +1,59 @@
+package damq_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"damq"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsSnapshotGolden pins the -metrics JSON contract byte for
+// byte: metric names, histogram shapes, the time-series record layout,
+// and the deterministic values of one small fixed-seed run. A diff here
+// means the exported metrics schema (or the simulation itself) changed;
+// regenerate with `go test -run MetricsSnapshotGolden -update .` and
+// review the diff as an API change.
+func TestMetricsSnapshotGolden(t *testing.T) {
+	o := damq.NewObserver()
+	o.SetInterval(50)
+	_, err := damq.RunNetwork(damq.NetworkConfig{
+		Inputs:        16,
+		BufferKind:    damq.DAMQ,
+		Capacity:      4,
+		Policy:        damq.SmartArbitration,
+		Protocol:      damq.Discarding,
+		Traffic:       damq.TrafficSpec{Kind: damq.UniformTraffic, Load: 0.9},
+		WarmupCycles:  50,
+		MeasureCycles: 200,
+		Seed:          9,
+	}, damq.WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := damq.ValidateMetricsJSON(got); err != nil {
+		t.Fatalf("snapshot fails its own validator: %v", err)
+	}
+
+	path := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("metrics snapshot diverges from %s (run with -update to regenerate):\ngot %d bytes, want %d", path, len(got), len(want))
+	}
+}

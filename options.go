@@ -1,0 +1,86 @@
+package damq
+
+// Option configures a facade constructor or experiment runner. Options
+// carry the cross-cutting knobs (observability, seeding, parallelism,
+// run length) so they do not have to widen every Config struct; bare
+// Configs with no options remain the zero-cost default path.
+type Option func(*options)
+
+// options is the resolved option set. Boolean *Set flags distinguish
+// "explicitly chosen zero" from "not given", so WithSeed(0) and
+// WithWorkers(1) behave as written rather than falling back to defaults.
+type options struct {
+	observer   *Observer
+	seed       uint64
+	seedSet    bool
+	workers    int
+	workersSet bool
+	scale      ExperimentScale
+	scaleSet   bool
+}
+
+// WithObserver attaches an observer: the constructed simulation, buffer,
+// switch, or chip registers its instruments in o's registry and updates
+// them as it runs. Passing nil is a no-op (observability stays off).
+// Observed and unobserved runs of the same config produce bit-identical
+// results; the probes consume no randomness.
+func WithObserver(o *Observer) Option {
+	return func(op *options) { op.observer = o }
+}
+
+// WithSeed overrides the PRNG seed of the constructed simulation or
+// experiment scale, taking precedence over both Config.Seed and a
+// WithScale seed.
+func WithSeed(seed uint64) Option {
+	return func(op *options) {
+		op.seed = seed
+		op.seedSet = true
+	}
+}
+
+// WithWorkers bounds how many simulation points an experiment runs
+// concurrently (0 = GOMAXPROCS, 1 = serial). Results are identical at
+// any worker count. Ignored by single-simulation constructors.
+func WithWorkers(n int) Option {
+	return func(op *options) {
+		op.workers = n
+		op.workersSet = true
+	}
+}
+
+// WithScale replaces an experiment's scale wholesale (run length, seed,
+// workers). WithSeed and WithWorkers, if also given, override the
+// corresponding fields of this scale regardless of option order.
+func WithScale(sc ExperimentScale) Option {
+	return func(op *options) {
+		op.scale = sc
+		op.scaleSet = true
+	}
+}
+
+// applyOptions folds opts into a resolved set.
+func applyOptions(opts []Option) options {
+	var op options
+	for _, o := range opts {
+		if o != nil {
+			o(&op)
+		}
+	}
+	return op
+}
+
+// scaleFor resolves the effective experiment scale: base unless WithScale
+// replaced it, with WithSeed/WithWorkers overrides applied last.
+func (op options) scaleFor(base ExperimentScale) ExperimentScale {
+	sc := base
+	if op.scaleSet {
+		sc = op.scale
+	}
+	if op.seedSet {
+		sc.Seed = op.seed
+	}
+	if op.workersSet {
+		sc.Workers = op.workers
+	}
+	return sc
+}

@@ -7,6 +7,7 @@
 //	comcobb              # 8-byte packet, full trace
 //	comcobb -bytes 32    # longest packet
 //	comcobb -busy        # destination port busy: packet is buffered
+//	comcobb -faults "wirecorrupt=0.05,retries=4"  # inject wire faults; parity NACK + retransmit
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 func main() {
 	nbytes := flag.Int("bytes", 8, "payload bytes (1..32)")
 	busy := flag.Bool("busy", false, "pre-occupy the destination output so the packet is buffered, not cut through")
+	faultsSpec := flag.String("faults", "", `fault spec, e.g. "wirecorrupt=0.05,retries=4,seed=7" (see damq.ParseFaultSpec)`)
 	flag.Parse()
 
 	if *nbytes < 1 || *nbytes > 32 {
@@ -27,8 +29,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	var faults damq.FaultConfig
+	if *faultsSpec != "" {
+		var err error
+		faults, err = damq.ParseFaultSpec(*faultsSpec)
+		must(err)
+	}
+
 	trace := &damq.ChipTrace{}
-	chip := damq.NewChip(damq.ChipConfig{Trace: trace})
+	chip := damq.NewChip(damq.ChipConfig{Trace: trace}, damq.WithFaults(faults))
 	// Circuits: input 0 header 0x01 -> output 1; input 2 header 0x05 ->
 	// output 1 (the competing stream for -busy).
 	must(chip.In(0).Router().Set(0x01, damq.Route{Out: 1, NewHeader: 0x02}))
@@ -39,7 +48,7 @@ func main() {
 		payload[i] = byte(0xA0 + i)
 	}
 
-	drv := damq.NewChipDriver(chip.InLink(0))
+	drv := damq.NewChipDriver(chip.InLink(0), damq.WithFaults(faults))
 	if *busy {
 		competing := damq.NewChipDriver(chip.InLink(2))
 		competing.Queue(0x05, make([]byte, 32), 0)
@@ -62,6 +71,16 @@ func main() {
 			chip.Tick()
 		}
 	}
+	// Under injected faults the driver may still be retransmitting; keep
+	// ticking until it drains (bounded), then flush the chip pipeline.
+	for i := 0; i < 10_000 && drv.Pending() > 0; i++ {
+		drv.Tick()
+		chip.Tick()
+	}
+	for i := 0; i < 8; i++ {
+		drv.Tick()
+		chip.Tick()
+	}
 
 	fmt.Printf("ComCoBB chip trace (%d payload bytes%s):\n\n", *nbytes, busyNote(*busy))
 	for _, e := range trace.Events {
@@ -75,6 +94,12 @@ func main() {
 	}
 	for _, p := range chip.Delivered(1) {
 		fmt.Printf("delivered at output 1: header %#02x, %d bytes\n", p.Header, len(p.Data))
+	}
+	if faults.Enabled() {
+		st := chip.FaultStats()
+		fmt.Printf("\nfault summary: %d bytes corrupted, %d NACKs, %d packets dropped at receiver, %d poisoned\n",
+			st.Corrupted, st.Nacks, st.Dropped, st.Poisoned)
+		fmt.Printf("driver recovery: %d retransmissions, %d given up\n", drv.Retries(), drv.GaveUp())
 	}
 }
 

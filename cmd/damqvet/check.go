@@ -209,12 +209,13 @@ func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath, fun string) bo
 }
 
 // isSinkPointer reports whether t is a pointer to an observability
-// sink: a named type whose name contains "Trace", "Metrics", or
-// "Observer" (the chip's event recorder and the obs-layer probe
-// bundles), or any type declared in a package named "obs" (Counter,
-// Gauge, Histogram, and future instruments). Method calls on a sink
-// pointer must sit inside an `if sink != nil { ... }` guard; the guard
-// body is a cold region.
+// sink: a named type whose name contains "Trace", "Metrics",
+// "Observer", or "Fault" (the chip's event recorder, the obs-layer
+// probe bundles, and the nil-when-disabled fault-injection hooks), or
+// any type declared in a package named "obs" (Counter, Gauge,
+// Histogram, and future instruments). Method calls on a sink pointer
+// must sit inside an `if sink != nil { ... }` guard; the guard body is
+// a cold region.
 func isSinkPointer(t types.Type) bool {
 	ptr, ok := t.Underlying().(*types.Pointer)
 	if !ok {
@@ -231,7 +232,8 @@ func isSinkPointer(t types.Type) bool {
 	name := obj.Name()
 	return strings.Contains(name, "Trace") ||
 		strings.Contains(name, "Metrics") ||
-		strings.Contains(name, "Observer")
+		strings.Contains(name, "Observer") ||
+		strings.Contains(name, "Fault")
 }
 
 // paramObjects collects the receiver and parameter objects of a function

@@ -22,12 +22,21 @@ type RingMetrics struct {
 	Pushes *obs.Counter
 }
 
+// RingFaults mirrors the netsim/comcobb fault-injection hooks: a
+// nil-when-disabled pointer whose "Faults" name marks it a sink, so the
+// zero-overhead contract (guard, never call through nil) is enforced.
+type RingFaults struct{ drops int }
+
+// Drop records one injected fault. Cold path by design.
+func (f *RingFaults) Drop() { f.drops++ }
+
 // Ring is a toy hot structure.
 type Ring struct {
-	slots []int
-	trace *Trace
-	m     *RingMetrics
-	depth *obs.Gauge
+	slots  []int
+	trace  *Trace
+	m      *RingMetrics
+	depth  *obs.Gauge
+	faults *RingFaults
 }
 
 // Push is clean: receiver-rooted append and guarded sink calls — the
@@ -44,6 +53,9 @@ func (r *Ring) Push(v int) {
 	}
 	if r.depth != nil {
 		r.depth.Set(int64(len(r.slots)))
+	}
+	if r.faults != nil {
+		r.faults.Drop()
 	}
 }
 
@@ -88,6 +100,7 @@ func (r *Ring) Bad(v int) []int {
 	r.trace.Event(u)             // want "trace/metrics method call not dominated by a nil-sink guard"
 	r.m.Pushes.Inc()             // want "trace/metrics method call not dominated by a nil-sink guard"
 	r.depth.Set(1)               // want "trace/metrics method call not dominated by a nil-sink guard"
+	r.faults.Drop()              // want "trace/metrics method call not dominated by a nil-sink guard"
 	box(v)                       // want "argument boxed into interface parameter"
 	boxVariadic(v)               // want "argument boxed into interface parameter"
 	box(r)                       // pointer-shaped: no boxing allocation

@@ -9,16 +9,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"damq"
 	"damq/internal/experiments"
 	"damq/internal/netsim"
 )
+
+// sections tracks report progress so an interrupt can say how far it got.
+var sections, sectionsTotal int
 
 func main() {
 	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
@@ -38,7 +45,16 @@ func main() {
 	}
 	sc.Workers = *workers
 
+	// SIGINT/SIGTERM cancel the remaining experiments cooperatively: the
+	// sections already printed stand, and the exit banner reports how far
+	// the report got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sc.Ctx = ctx
+
+	sectionsTotal = 17
 	section := func(title string) {
+		sections++
 		fmt.Println()
 		fmt.Println(strings.Repeat("=", 78))
 		fmt.Println(title)
@@ -114,6 +130,11 @@ func main() {
 	hog, err := experiments.Hogging(sc)
 	orDie(err)
 	fmt.Print(experiments.RenderHogging(hog))
+
+	section("Companion — graceful degradation under injected link faults")
+	fcv, err := experiments.FaultCurve(nil, nil, sc)
+	orDie(err)
+	fmt.Print(experiments.RenderFaultCurve(fcv))
 
 	section("Companion — radix sweep: DAMQ/FIFO gap vs switch size")
 	rx, err := experiments.RadixSweep(sc)
@@ -194,8 +215,14 @@ func main() {
 }
 
 func orDie(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "experiments: interrupted at %d/%d sections; the report above covers the completed ones\n",
+			sections, sectionsTotal)
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

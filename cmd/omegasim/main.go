@@ -21,9 +21,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"damq"
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "table4",
-		"experiment: table3|table4|table5|table6|figure3|varlen|async|treesat|tail|switch4|radix|ablation|run")
+		"experiment: table3|table4|table5|table6|figure3|varlen|async|treesat|tail|switch4|radix|ablation|faults|run")
 	svgPath := flag.String("svg", "", "figure3: also write an SVG figure to this path")
 	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
 	kind := flag.String("kind", "damq", "run: buffer kind")
@@ -47,6 +51,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "run: attach an observer and write its JSON snapshot to this path")
 	metricsInterval := flag.Int64("metrics-interval", 0, "run: record a cumulative time-series point every N cycles in the -metrics snapshot (0 = off)")
 	checkMetrics := flag.String("check-metrics", "", "validate a -metrics JSON file and exit (CI smoke check)")
+	faultsSpec := flag.String("faults", "", `run/faults: fault spec, e.g. "linktransient=1e-3,slotstuck=1e-5,seed=7" (see damq.ParseFaultSpec)`)
 	flag.Parse()
 
 	if *checkMetrics != "" {
@@ -67,6 +72,13 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+
+	// SIGINT/SIGTERM cancel the scale context: running sweeps drain their
+	// in-flight points and return what they finished; a second signal
+	// kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sc.Ctx = ctx
 
 	switch *exp {
 	case "table3":
@@ -138,14 +150,26 @@ func main() {
 		rows, err := experiments.RadixSweep(sc)
 		orDie(err)
 		fmt.Print(experiments.RenderRadix(rows))
+	case "faults":
+		var rates []float64
+		if *faultsSpec != "" {
+			fc, err := damq.ParseFaultSpec(*faultsSpec)
+			orDie(err)
+			if fc.LinkTransientRate > 0 {
+				rates = []float64{0, fc.LinkTransientRate}
+			}
+		}
+		rows, err := experiments.FaultCurve(nil, rates, sc)
+		orDie(err)
+		fmt.Print(experiments.RenderFaultCurve(rows))
 	case "run":
-		runOne(*kind, *load, *capacity, *protocol, *policy, *hot, sc, *metricsPath, *metricsInterval)
+		runOne(ctx, *kind, *load, *capacity, *protocol, *policy, *hot, sc, *metricsPath, *metricsInterval, *faultsSpec)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 }
 
-func runOne(kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, metricsPath string, metricsInterval int64) {
+func runOne(ctx context.Context, kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, metricsPath string, metricsInterval int64, faultsSpec string) {
 	kind, err := damq.ParseBufferKind(kindName)
 	orDie(err)
 	pol, err := damq.ParseArbitrationPolicy(policyName)
@@ -163,7 +187,13 @@ func runOne(kindName string, load float64, capacity int, protoName, policyName s
 		observer.SetInterval(metricsInterval)
 		opts = append(opts, damq.WithObserver(observer))
 	}
-	res, err := damq.RunNetwork(damq.NetworkConfig{
+	var faults damq.FaultConfig
+	if faultsSpec != "" {
+		faults, err = damq.ParseFaultSpec(faultsSpec)
+		orDie(err)
+		opts = append(opts, damq.WithFaults(faults))
+	}
+	res, err := damq.RunNetworkCtx(ctx, damq.NetworkConfig{
 		BufferKind:    kind,
 		Capacity:      capacity,
 		Policy:        pol,
@@ -173,7 +203,10 @@ func runOne(kindName string, load float64, capacity int, protoName, policyName s
 		MeasureCycles: sc.Measure,
 		Seed:          sc.Seed,
 	}, opts...)
-	orDie(err)
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
+		orDie(err)
+	}
 	if observer != nil {
 		raw, err := observer.Snapshot().Encode()
 		orDie(err)
@@ -189,12 +222,24 @@ func runOne(kindName string, load float64, capacity int, protoName, policyName s
 	fmt.Printf("discarded           %.2f%% of generated\n", 100*res.DiscardFraction())
 	fmt.Printf("mean occupancy      %.2f packets/switch\n", res.Occupancy.Mean())
 	fmt.Printf("source backlog      %.1f packets\n", res.SourceBacklog.Mean())
+	if faults.Enabled() {
+		fmt.Printf("faulted in net      %.2f%% of injected (%d packets)\n", 100*res.FaultFraction(), res.FaultedInNet)
+	}
+	if interrupted {
+		fmt.Printf("interrupted at %d/%d measured cycles; results above cover the completed prefix\n",
+			res.Config.MeasureCycles, sc.Measure)
+	}
 }
 
 func orDie(err error) {
-	if err != nil {
-		fatal(err)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "omegasim: interrupted before the experiment completed")
+		os.Exit(130)
+	}
+	fatal(err)
 }
 
 func fatal(err error) {

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"damq"
 	"damq/internal/arbiter"
@@ -87,8 +91,18 @@ func main() {
 	sc.Seed = *seed
 	sc.Workers = *workers
 
+	// SIGINT/SIGTERM cancel the sweep cooperatively: completed points are
+	// still flushed as CSV, with a footer noting how far the sweep got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sc.Ctx = ctx
+
+	total := grid.Points()
 	points, err := grid.Run(sc)
-	orDie(err)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		orDie(err)
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -100,6 +114,11 @@ func main() {
 	orDie(experiments.WriteCSV(w, points))
 	if *out != "" {
 		fmt.Printf("wrote %d rows to %s\n", len(points), *out)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted at %d/%d points; CSV holds the completed cells\n",
+			len(points), total)
+		os.Exit(130)
 	}
 }
 

@@ -23,6 +23,8 @@
 package damq
 
 import (
+	"context"
+
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
 	"damq/internal/cfgerr"
@@ -30,6 +32,7 @@ import (
 	"damq/internal/comcobb"
 	"damq/internal/eventsim"
 	"damq/internal/experiments"
+	"damq/internal/fault"
 	"damq/internal/markov2x2"
 	"damq/internal/netsim"
 	"damq/internal/obs"
@@ -62,6 +65,10 @@ var (
 	ErrBadPolicy = cfgerr.ErrBadPolicy
 	// ErrBadProtocol reports an unknown flow-control protocol.
 	ErrBadProtocol = cfgerr.ErrBadProtocol
+	// ErrBadFaultRate reports a fault probability outside [0, 1].
+	ErrBadFaultRate = cfgerr.ErrBadFaultRate
+	// ErrBadRetryLimit reports a negative retransmit limit or backoff.
+	ErrBadRetryLimit = cfgerr.ErrBadRetryLimit
 )
 
 // BufferKind identifies one of the four buffer organizations.
@@ -101,13 +108,22 @@ type Packet = packet.Packet
 // NewBuffer constructs a buffer of the given kind for an n-output switch
 // with the given total slot capacity. With WithObserver the buffer is
 // wrapped so accept/reject/pop outcomes count under the buffer.*
-// metrics; without options the raw buffer is returned unchanged.
+// metrics; without options the raw buffer is returned unchanged. With
+// WithFaults, slots of a dynamically allocated organization whose
+// deterministic failure draw lands on cycle 0 ("stuck at power-on") are
+// quarantined out of the free list before the buffer is returned —
+// capacity shrinks, structure stays sound.
 func NewBuffer(kind BufferKind, outputs, capacity int, opts ...Option) (Buffer, error) {
 	b, err := buffer.New(buffer.Config{Kind: kind, NumOutputs: outputs, Capacity: capacity})
 	if err != nil {
 		return nil, err
 	}
 	op := applyOptions(opts)
+	if op.faultsSet {
+		if err := quarantineStuckAtBirth(b, op.faults); err != nil {
+			return nil, err
+		}
+	}
 	if op.observer == nil {
 		return b, nil
 	}
@@ -117,6 +133,31 @@ func NewBuffer(kind BufferKind, outputs, capacity int, opts ...Option) (Buffer, 
 		Rejected: r.Counter(buffer.MetricRejected),
 		Popped:   r.Counter(buffer.MetricPopped),
 	}), nil
+}
+
+// quarantineStuckAtBirth applies a fault config to a standalone buffer:
+// slots whose deterministic failure cycle is 0 are taken out of service
+// immediately. Organizations without a slot pool have nothing to
+// quarantine and are returned unchanged.
+func quarantineStuckAtBirth(b Buffer, fc FaultConfig) error {
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	q, ok := b.(interface{ QuarantineSlot(int) bool })
+	if !ok || fc.SlotStuckRate <= 0 {
+		return nil
+	}
+	inj, err := fault.NewInjector(fc)
+	if err != nil {
+		return err
+	}
+	site := fault.BufferSite(0, 0, 0)
+	for sl := 0; sl < b.Capacity(); sl++ {
+		if inj.SlotFailCycle(site, sl) == 0 {
+			q.QuarantineSlot(sl)
+		}
+	}
+	return nil
 }
 
 // NewDAMQBuffer constructs the concrete DAMQ type directly.
@@ -208,6 +249,38 @@ func DiscardProbability(kind BufferKind, slots int, load float64) (float64, erro
 	return r.PDiscard, nil
 }
 
+// Fault injection ----------------------------------------------------------
+
+// FaultConfig parameterizes deterministic fault injection (WithFaults).
+// Rates are per-site-per-cycle probabilities; zero rates everywhere mean
+// faults are off. Seed 0 derives the fault seed from the simulation seed
+// where one exists.
+type FaultConfig = fault.Config
+
+// FaultKind identifies one class of injected fault.
+type FaultKind = fault.Kind
+
+// The fault classes.
+const (
+	FaultSlotStuck     = fault.SlotStuck     // buffer slot goes permanently out of service
+	FaultWireCorrupt   = fault.WireCorrupt   // single-bit flip on a chip wire byte
+	FaultLinkTransient = fault.LinkTransient // network link drops this cycle's packet
+	FaultLinkDead      = fault.LinkDead      // network link fails permanently
+)
+
+// FaultKinds lists all fault classes.
+func FaultKinds() []FaultKind { return fault.Kinds() }
+
+// ParseFaultKind converts a name such as "slot-stuck" (case-insensitive)
+// to its kind. Unknown names return an error wrapping ErrBadKind that
+// lists the valid names.
+func ParseFaultKind(s string) (FaultKind, error) { return fault.ParseKind(s) }
+
+// ParseFaultSpec parses a CLI-style comma-separated fault spec such as
+// "slot-stuck=1e-5,link-transient=1e-4,seed=7,retries=4" and validates
+// the result — the format behind the CLIs' -faults flag.
+func ParseFaultSpec(s string) (FaultConfig, error) { return fault.ParseSpec(s) }
+
 // Network simulation -----------------------------------------------------
 
 // NetworkConfig parameterizes an Omega-network simulation (64×64 of 4×4
@@ -243,6 +316,11 @@ func NewNetwork(cfg NetworkConfig, opts ...Option) (*NetworkSim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if op.faultsSet {
+		if err := sim.SetFaults(op.faults); err != nil {
+			return nil, err
+		}
+	}
 	if op.observer != nil {
 		sim.SetObserver(op.observer)
 	}
@@ -257,6 +335,19 @@ func RunNetwork(cfg NetworkConfig, opts ...Option) (*NetworkResult, error) {
 		return nil, err
 	}
 	return sim.Run(), nil
+}
+
+// RunNetworkCtx is RunNetwork with cooperative cancellation: on ctx
+// cancellation it stops at the next stride boundary and returns the
+// partial result (Config.MeasureCycles rewritten to the cycles actually
+// measured) together with ctx.Err(), so callers can report interrupted
+// runs honestly instead of discarding them.
+func RunNetworkCtx(ctx context.Context, cfg NetworkConfig, opts ...Option) (*NetworkResult, error) {
+	sim, err := NewNetwork(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunCtx(ctx)
 }
 
 // Observability -----------------------------------------------------------
@@ -310,11 +401,17 @@ type Route = comcobb.Route
 type ChipNetwork = comcobb.Network
 
 // NewChip builds a chip. WithObserver registers the chip.* cycle, grant,
-// and port counters (equivalent to setting cfg.Observer directly).
+// and port counters (equivalent to setting cfg.Observer directly), and
+// WithFaults arms wire-byte corruption with parity detection and NACK
+// (equivalent to setting cfg.Faults). Explicit config fields win over
+// options.
 func NewChip(cfg ChipConfig, opts ...Option) *Chip {
 	op := applyOptions(opts)
 	if op.observer != nil && cfg.Observer == nil {
 		cfg.Observer = op.observer
+	}
+	if op.faultsSet && !cfg.Faults.Enabled() {
+		cfg.Faults = op.faults
 	}
 	return comcobb.NewChip(cfg)
 }
@@ -333,8 +430,20 @@ type ChipLink = comcobb.Link
 // upstream node.
 type ChipDriver = comcobb.Driver
 
-// NewChipDriver attaches a driver to a link.
-func NewChipDriver(link *ChipLink) *ChipDriver { return comcobb.NewDriver(link) }
+// NewChipDriver attaches a driver to a link. WithObserver registers the
+// driver's retransmit instruments (fault.driver.*); WithFaults applies
+// the config's retry policy (SetRetryPolicy spells it out explicitly).
+func NewChipDriver(link *ChipLink, opts ...Option) *ChipDriver {
+	d := comcobb.NewDriver(link)
+	op := applyOptions(opts)
+	if op.faultsSet && op.faults.RetryLimit > 0 {
+		d.SetRetryPolicy(op.faults.RetryLimit, op.faults.RetryBackoff)
+	}
+	if op.observer != nil {
+		d.ObserveFaults(op.observer)
+	}
+	return d
+}
 
 // DecodedPacket is a packet recovered from a chip output capture.
 type DecodedPacket = comcobb.DecodedPacket
@@ -404,6 +513,14 @@ func ReproduceVarLen(sc ExperimentScale, opts ...Option) ([]experiments.VarLenRo
 // asynchronously).
 func ReproduceAsync(sc ExperimentScale, opts ...Option) ([]experiments.AsyncRow, error) {
 	return experiments.Async(applyOptions(opts).scaleFor(sc))
+}
+
+// ReproduceFaultCurve sweeps injected link-fault rates on the discarding
+// network and reports each buffer kind's graceful-degradation curve
+// (delivered throughput, faulted-discard percentage, quarantined slots).
+// nil kinds defaults to FIFO vs DAMQ, nil rates to the standard sweep.
+func ReproduceFaultCurve(kinds []BufferKind, rates []float64, sc ExperimentScale, opts ...Option) ([]experiments.FaultCurveRow, error) {
+	return experiments.FaultCurve(kinds, rates, applyOptions(opts).scaleFor(sc))
 }
 
 // AblateConnectivity quantifies what full read connectivity buys on top

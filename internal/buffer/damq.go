@@ -43,9 +43,23 @@ type DAMQBuffer struct {
 	qTail  []int32 // per-output tail register
 	qPkts  []int   // packets per queue
 	qSlots []int   // slots per queue
+
+	// Quarantine state, nil until the first QuarantineSlot call so the
+	// fault-free buffer pays nothing beyond one nil check in giveFree.
+	// A quarantined slot is on no list: the pool's capacity shrinks
+	// instead of a dead pointer register corrupting a linked list.
+	quar      []uint8
+	quarCount int
 }
 
 const nilSlot = int32(-1)
+
+// Quarantine slot states (entries of quar).
+const (
+	slotHealthy     uint8 = iota
+	slotQuarPending       // in use; quarantine when its packet releases it
+	slotQuarantined       // out of service, on no list
+)
 
 // NewDAMQ constructs a DAMQ buffer with the given queue count and total
 // slot capacity.
@@ -95,8 +109,16 @@ func (b *DAMQBuffer) takeFree() int32 {
 }
 
 // giveFree appends slot s to the free list, mirroring the transmission
-// manager FSM returning freed slots.
+// manager FSM returning freed slots. A slot marked for quarantine is
+// diverted out of service instead of rejoining the pool.
 func (b *DAMQBuffer) giveFree(s int32) {
+	if b.quar != nil && b.quar[s] == slotQuarPending {
+		b.quar[s] = slotQuarantined
+		b.quarCount++
+		b.next[s] = nilSlot
+		b.owner[s] = nil
+		return
+	}
 	b.next[s] = nilSlot
 	b.owner[s] = nil
 	if b.freeTail == nilSlot {
@@ -179,8 +201,60 @@ func (b *DAMQBuffer) Pop(out int) *packet.Packet {
 	return p
 }
 
+// QuarantineSlot takes slot s out of service, modelling a stuck-at/dead
+// slot detected by the hardware's self-test. A free slot is unlinked from
+// the free list immediately; a slot currently holding packet data keeps
+// serving its packet and is diverted to quarantine when released (yanking
+// a live slot would corrupt its packet's chain — exactly the failure mode
+// quarantine exists to prevent). Capacity shrinks by one either way; the
+// nominal Capacity() is unchanged so occupancy ratios stay comparable.
+//
+// Returns true if this call newly removed the slot from service, false if
+// it was already quarantined or pending. This is a cold path: it may
+// allocate (first call) and walk the free list.
+func (b *DAMQBuffer) QuarantineSlot(s int) bool {
+	if s < 0 || s >= b.capacity {
+		panic(fmt.Sprintf("damq: QuarantineSlot(%d) out of range [0,%d)", s, b.capacity))
+	}
+	if b.quar == nil {
+		b.quar = make([]uint8, b.capacity)
+	}
+	if b.quar[s] != slotHealthy {
+		return false
+	}
+	// Unlink from the free list if present; otherwise the slot is in use.
+	prev := nilSlot
+	for cur := b.freeHead; cur != nilSlot; cur = b.next[cur] {
+		if cur == int32(s) {
+			if prev == nilSlot {
+				b.freeHead = b.next[cur]
+			} else {
+				b.next[prev] = b.next[cur]
+			}
+			if b.freeTail == cur {
+				b.freeTail = prev
+			}
+			b.freeCount--
+			b.next[cur] = nilSlot
+			b.quar[s] = slotQuarantined
+			b.quarCount++
+			return true
+		}
+		prev = cur
+	}
+	b.quar[s] = slotQuarPending
+	return true
+}
+
+// Quarantined reports how many slots are fully out of service (pending
+// slots still serving a packet are not counted until released).
+func (b *DAMQBuffer) Quarantined() int { return b.quarCount }
+
 func (b *DAMQBuffer) Reset() {
-	// All slots onto the free list, in index order.
+	// All slots onto the free list, in index order. Reset models a power
+	// cycle: quarantine state is cleared and every slot rejoins the pool.
+	b.quar = nil
+	b.quarCount = 0
 	for i := range b.next {
 		b.next[i] = int32(i + 1)
 		b.owner[i] = nil
@@ -203,10 +277,11 @@ func (b *DAMQBuffer) Reset() {
 }
 
 // CheckInvariants verifies the structural health of the slot pool: every
-// slot is on exactly one list, per-queue counters match the lists, queue
-// order is intact, and free accounting is exact. Tests call it after
-// random operation sequences; it is the software analogue of the FSM
-// synchronization argument in Section 3.2.3 of the paper.
+// slot is on exactly one list (or quarantined and on none), per-queue
+// counters match the lists, queue order is intact, and free accounting is
+// exact. Tests call it after random operation sequences; it is the
+// software analogue of the FSM synchronization argument in Section 3.2.3
+// of the paper.
 func (b *DAMQBuffer) CheckInvariants() error {
 	seen := make([]bool, b.capacity)
 
@@ -233,6 +308,11 @@ func (b *DAMQBuffer) CheckInvariants() error {
 	}
 	if freeSlots != b.freeCount {
 		return fmt.Errorf("damq: free list has %d slots, counter says %d", freeSlots, b.freeCount)
+	}
+	for s := b.freeHead; s != nilSlot; s = b.next[s] {
+		if b.quar != nil && b.quar[s] == slotQuarantined {
+			return fmt.Errorf("damq: quarantined slot %d is on the free list", s)
+		}
 	}
 
 	total := freeSlots
@@ -285,6 +365,23 @@ func (b *DAMQBuffer) CheckInvariants() error {
 		}
 		total += slots
 	}
+	quarSlots := 0
+	if b.quar != nil {
+		for s := 0; s < b.capacity; s++ {
+			if b.quar[s] != slotQuarantined {
+				continue
+			}
+			if seen[s] {
+				return fmt.Errorf("damq: quarantined slot %d is on a list", s)
+			}
+			seen[s] = true
+			quarSlots++
+		}
+	}
+	if quarSlots != b.quarCount {
+		return fmt.Errorf("damq: %d slots quarantined, counter says %d", quarSlots, b.quarCount)
+	}
+	total += quarSlots
 	if total != b.capacity {
 		return fmt.Errorf("damq: %d slots accounted for, capacity %d", total, b.capacity)
 	}
@@ -323,6 +420,15 @@ func (b *DAMQBuffer) Dump() string {
 		fmt.Fprintf(&sb, " %d", s)
 	}
 	sb.WriteString("\n")
+	if b.quarCount > 0 {
+		sb.WriteString("quarantined:")
+		for s := 0; s < b.capacity; s++ {
+			if b.quar[s] == slotQuarantined {
+				fmt.Fprintf(&sb, " %d", s)
+			}
+		}
+		sb.WriteString("\n")
+	}
 	return sb.String()
 }
 

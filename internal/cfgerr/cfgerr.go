@@ -27,4 +27,9 @@ var (
 	ErrBadPolicy = errors.New("invalid arbitration policy")
 	// ErrBadProtocol reports an unknown flow-control protocol name.
 	ErrBadProtocol = errors.New("invalid protocol")
+	// ErrBadFaultRate reports a fault-injection rate outside [0, 1].
+	ErrBadFaultRate = errors.New("fault rate out of range")
+	// ErrBadRetryLimit reports a negative retransmit retry limit or
+	// backoff in a fault config.
+	ErrBadRetryLimit = errors.New("invalid retry limit")
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"damq/internal/cfgerr"
+	"damq/internal/fault"
 	"damq/internal/obs"
 )
 
@@ -28,6 +29,15 @@ type Config struct {
 	// the two sides of a port pair face different neighbors, so the turn
 	// is legitimate. Package chipnet sets this.
 	MINMode bool
+	// Faults, when any rate is non-zero, arms wire-corruption injection
+	// on the chip's input links and parity checking in its receivers
+	// (drop + NACK on mismatch). The zero value keeps the chip exactly
+	// as fast and deterministic as a fault-free build.
+	Faults fault.Config
+	// FaultChip is this chip's number in the fault engine's site space
+	// (fault.ChipLinkSite), so multi-chip systems give every chip a
+	// distinct corruption schedule. Standalone chips leave it 0.
+	FaultChip int
 }
 
 // Validate checks the config under the repo-wide sentinel-error
@@ -39,7 +49,7 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("comcobb: need at least %d slots per buffer, got %d: %w",
 			MaxSlotsPerPacket, cfg.Slots, cfgerr.ErrBadCapacity)
 	}
-	return nil
+	return cfg.Faults.Validate()
 }
 
 // Chip is one ComCoBB communication coprocessor: five port pairs (four
@@ -48,6 +58,7 @@ type Chip struct {
 	cycle    int64
 	trace    *Trace
 	m        *chipMetrics // nil when no observer is attached
+	flt      *chipFaults  // nil when fault injection is off
 	inPorts  [NumPorts]*InPort
 	outPorts [NumPorts]*OutPort
 	inLinks  [NumPorts]*Link
@@ -65,6 +76,13 @@ func NewChip(cfg Config) *Chip {
 		slots = DefaultSlots
 	}
 	c := &Chip{trace: cfg.Trace}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			panic(err) // unreachable: Validate already passed
+		}
+		c.flt = newChipFaults(inj, cfg.FaultChip, cfg.Observer)
+	}
 	if cfg.Observer != nil {
 		c.m = newChipMetrics(cfg.Observer)
 		if c.trace != nil {
@@ -88,6 +106,15 @@ func (c *Chip) Cycle() int64 { return c.cycle }
 
 // Trace returns the chip's event trace (may be nil).
 func (c *Chip) Trace() *Trace { return c.trace }
+
+// FaultStats returns the chip's fault counters (all zero on a fault-free
+// chip).
+func (c *Chip) FaultStats() FaultStats {
+	if c.flt == nil {
+		return FaultStats{}
+	}
+	return c.flt.stats
+}
 
 // In returns input port i, for configuration (routing tables) and
 // inspection.
@@ -135,9 +162,15 @@ func (c *Chip) phase0Out() {
 	}
 }
 
-// phase0In samples all input wires and collects sink links.
+// phase0In samples all input wires and collects sink links. Wire
+// corruption is injected here — after every producer has driven, before
+// any consumer samples — so a corrupted byte is what the synchronizer
+// actually latches.
 // damqvet:hotpath
 func (c *Chip) phase0In() {
+	if c.flt != nil {
+		c.flt.corrupt(c)
+	}
 	for i, ip := range c.inPorts {
 		ip.phase0(c.inLinks[i])
 	}

@@ -1,0 +1,199 @@
+package comcobb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"damq/internal/fault"
+)
+
+// faultChip builds a standalone chip routing header 0x01 to output 1
+// (rewritten to 0x02), with the given fault config.
+func faultChip(t *testing.T, fc fault.Config) *Chip {
+	t.Helper()
+	c := NewChip(Config{Faults: fc})
+	c.In(0).Router().Set(0x01, Route{Out: 1, NewHeader: 0x02})
+	return c
+}
+
+// runDriverChip ticks driver + chip until the driver drains (or cycles
+// runs out), then a few more cycles to flush the pipeline.
+func runDriverChip(d *Driver, c *Chip, cycles int) {
+	for i := 0; i < cycles; i++ {
+		d.Tick()
+		c.Tick()
+		if d.Pending() == 0 {
+			break
+		}
+	}
+	for i := 0; i < 64; i++ {
+		d.Tick()
+		c.Tick()
+	}
+}
+
+// TestRetransmitDeliversExactlyOnce is the heart of the recovery
+// machinery: under wire corruption with retries enabled, every queued
+// packet is either delivered exactly once or explicitly given up — never
+// duplicated, never silently lost — and the NACK ledger balances:
+// receiver NACKs == driver retries + give-ups.
+func TestRetransmitDeliversExactlyOnce(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := faultChip(t, fault.Config{Seed: seed, WireCorruptRate: 0.02})
+			d := NewDriver(c.InLink(0))
+			d.SetRetryPolicy(4, 2)
+
+			const packets = 60
+			payload := func(i int) []byte {
+				return []byte{byte(i), byte(i >> 8), 0xA5, byte(i * 7)}
+			}
+			for i := 0; i < packets; i++ {
+				d.Queue(0x01, payload(i), 0)
+			}
+			runDriverChip(d, c, 20000)
+
+			if d.Pending() != 0 {
+				t.Fatalf("driver stuck with %d symbols pending", d.Pending())
+			}
+			st := c.FaultStats()
+			delivered := d.retry.delivered
+			if delivered+d.GaveUp() != packets {
+				t.Fatalf("delivered %d + gaveUp %d != queued %d", delivered, d.GaveUp(), packets)
+			}
+			if st.Nacks != d.Retries()+d.GaveUp() {
+				t.Fatalf("NACK ledger unbalanced: receiver %d, driver retries %d + gaveUp %d",
+					st.Nacks, d.Retries(), d.GaveUp())
+			}
+			if st.Dropped != st.Nacks {
+				t.Fatalf("dropped %d != nacks %d", st.Dropped, st.Nacks)
+			}
+
+			got := c.Delivered(1)
+			if int64(len(got)) != delivered {
+				t.Fatalf("sink has %d packets, driver delivered %d (duplicate or loss)", len(got), delivered)
+			}
+			// Every non-poisoned delivery must be byte-perfect; poisoned
+			// ones carry exactly the injected corruption.
+			mismatched := 0
+			for _, p := range got {
+				if p.Header != 0x02 {
+					t.Fatalf("delivered header %#02x, want 0x02", p.Header)
+				}
+				ok := false
+				for i := 0; i < packets; i++ {
+					if bytes.Equal(p.Data, payload(i)) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					mismatched++
+				}
+			}
+			if int64(mismatched) != st.Poisoned {
+				t.Fatalf("%d corrupted deliveries, %d poisoned packets counted", mismatched, st.Poisoned)
+			}
+			if st.Corrupted == 0 {
+				t.Fatalf("no corruption injected at rate 0.02 over the run; seed %d schedule suspect", seed)
+			}
+		})
+	}
+}
+
+// TestRetryGivesUpAtLimit drives a packet through certain corruption
+// (rate 1: every byte flipped) so every attempt is NACKed on its header
+// byte, and checks the driver abandons after exactly the budget.
+func TestRetryGivesUpAtLimit(t *testing.T) {
+	c := faultChip(t, fault.Config{Seed: 3, WireCorruptRate: 1})
+	d := NewDriver(c.InLink(0))
+	d.SetRetryPolicy(3, 1)
+	d.Queue(0x01, []byte{1, 2, 3}, 0)
+	runDriverChip(d, c, 4000)
+
+	if d.Pending() != 0 {
+		t.Fatalf("driver stuck with %d symbols pending", d.Pending())
+	}
+	if d.GaveUp() != 1 {
+		t.Fatalf("gaveUp = %d, want 1", d.GaveUp())
+	}
+	if d.Retries() != 3 {
+		t.Fatalf("retries = %d, want 3 (the full budget)", d.Retries())
+	}
+	if n := len(c.Delivered(1)); n != 0 {
+		t.Fatalf("%d packets delivered under total corruption", n)
+	}
+	if st := c.FaultStats(); st.Nacks != 4 {
+		t.Fatalf("nacks = %d, want 4 (first attempt + 3 retries)", st.Nacks)
+	}
+}
+
+// TestRetryLimitZeroMeansNoRetransmit pins the RetryLimit == 0 contract.
+func TestRetryLimitZeroMeansNoRetransmit(t *testing.T) {
+	c := faultChip(t, fault.Config{Seed: 3, WireCorruptRate: 1})
+	d := NewDriver(c.InLink(0))
+	d.SetRetryPolicy(0, 1)
+	d.Queue(0x01, []byte{9}, 0)
+	runDriverChip(d, c, 1000)
+	if d.Retries() != 0 || d.GaveUp() != 1 {
+		t.Fatalf("retries=%d gaveUp=%d, want 0/1", d.Retries(), d.GaveUp())
+	}
+}
+
+// TestFaultsOffChipUnchanged checks a zero fault config leaves the chip
+// on the fault-free code path entirely: no fault state, no parity
+// checking (even deliberately bad parity is ignored), identical traffic.
+func TestFaultsOffChipUnchanged(t *testing.T) {
+	c := faultChip(t, fault.Config{})
+	if c.flt != nil {
+		t.Fatal("zero fault config armed the fault machinery")
+	}
+	// Drive a packet with deliberately wrong parity everywhere: a
+	// fault-free chip must not care.
+	d := NewDriver(c.InLink(0))
+	d.Queue(0x01, []byte{0xFF, 0x00, 0x55}, 2)
+	for i := 0; i < len(d.syms); i++ {
+		d.syms[i].par = !d.syms[i].par
+	}
+	for i := 0; i < 40; i++ {
+		d.Tick()
+		c.Tick()
+	}
+	got := c.Delivered(1)
+	if len(got) != 1 || !bytes.Equal(got[0].Data, []byte{0xFF, 0x00, 0x55}) {
+		t.Fatalf("fault-free chip mangled traffic: %+v", got)
+	}
+	if st := c.FaultStats(); st != (FaultStats{}) {
+		t.Fatalf("fault-free chip counted faults: %+v", st)
+	}
+}
+
+// TestChipFaultDeterminism runs the same faulted scenario twice and
+// requires identical counters and identical delivered bytes.
+func TestChipFaultDeterminism(t *testing.T) {
+	run := func() (FaultStats, []DecodedPacket, int64, int64) {
+		c := faultChip(t, fault.Config{Seed: 77, WireCorruptRate: 0.05})
+		d := NewDriver(c.InLink(0))
+		d.SetRetryPolicy(5, 2)
+		for i := 0; i < 40; i++ {
+			d.Queue(0x01, []byte{byte(i), byte(i + 1), byte(i + 2)}, 0)
+		}
+		runDriverChip(d, c, 20000)
+		return c.FaultStats(), c.Delivered(1), d.Retries(), d.GaveUp()
+	}
+	st1, got1, r1, g1 := run()
+	st2, got2, r2, g2 := run()
+	if st1 != st2 || r1 != r2 || g1 != g2 {
+		t.Fatalf("fault counters differ across identical runs: %+v/%d/%d vs %+v/%d/%d", st1, r1, g1, st2, r2, g2)
+	}
+	if len(got1) != len(got2) {
+		t.Fatalf("delivered %d vs %d packets", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i].Header != got2[i].Header || !bytes.Equal(got1[i].Data, got2[i].Data) {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, got1[i], got2[i])
+		}
+	}
+}

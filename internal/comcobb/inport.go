@@ -10,6 +10,7 @@ const (
 	rxHeader         // start bit seen; header byte inside the synchronizer
 	rxLength         // header latched; length byte inside the synchronizer
 	rxData           // streaming payload bytes into slots
+	rxDrop           // parity error: packet dropped, swallowing until the next start bit
 )
 
 // rxPacket is the bookkeeping for one packet resident in (or streaming
@@ -32,6 +33,12 @@ type rxPacket struct {
 	pendingLength int
 	routed        bool
 	routedCycle   int64 // cycle whose phase 1 posted the crossbar request
+
+	// Fault-recovery state: granted marks the packet connected to an
+	// output (cut-through may be mid-stream), poisoned marks corruption
+	// that arrived too late to drop the packet.
+	granted  bool
+	poisoned bool
 }
 
 // complete reports end-of-packet (the write counter's EOP signal).
@@ -75,6 +82,22 @@ func (q *pktRing) popFront() *rxPacket {
 	}
 	q.buf[q.head] = nil
 	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+// popBack removes the most recently pushed packet. Fault recovery uses it
+// to un-enqueue a packet that was still being received when a parity
+// error arrived: the in-flight packet is always the newest entry of its
+// destination queue.
+// damqvet:hotpath
+func (q *pktRing) popBack() *rxPacket {
+	if q.n == 0 {
+		return nil
+	}
+	i := (q.head + q.n - 1) % len(q.buf)
+	p := q.buf[i]
+	q.buf[i] = nil
 	q.n--
 	return p
 }
@@ -185,6 +208,18 @@ func (in *InPort) phase0(link *Link) {
 	t := in.chip.trace
 	cyc := in.chip.cycle
 
+	// Parity check (fault-checking chips only): a released data byte whose
+	// parity wire disagrees with its data wires triggers per-state
+	// recovery. onParityError reports whether it consumed the symbol; a
+	// poisoned cut-through byte still falls through to writeData so the
+	// read counter never outruns the write counter.
+	if in.chip.flt != nil && sym.valid && sym.par != oddParity(sym.b) {
+		if in.onParityError(link, sym) {
+			in.detectStart(t, cyc)
+			return
+		}
+	}
+
 	switch in.state {
 	case rxIdle, rxHeader:
 		if in.state == rxHeader && sym.valid {
@@ -215,18 +250,109 @@ func (in *InPort) phase0(link *Link) {
 				in.id, in.cur.written, in.cur.length))
 		}
 		in.writeData(sym.b)
+	case rxDrop:
+		// Swallow the remainder of the dropped packet; the next start bit
+		// re-arms the receiver.
 	}
 
-	// Start-bit detection (cycle 0 of Table 1): the detector watches the
-	// raw wire, not the synchronizer output.
-	if in.sync.start {
-		if in.state != rxIdle {
-			panic(fmt.Sprintf("comcobb: input %d saw a start bit mid-packet", in.id))
-		}
+	in.detectStart(t, cyc)
+}
+
+// detectStart runs the start-bit detector (cycle 0 of Table 1): it
+// watches the raw wire, not the synchronizer output. A start bit
+// mid-packet is a protocol violation — except after a fault drop, where
+// it is exactly how the receiver resynchronizes with the next packet.
+// damqvet:hotpath
+func (in *InPort) detectStart(t *Trace, cyc int64) {
+	if !in.sync.start {
+		return
+	}
+	switch in.state {
+	case rxIdle:
 		in.state = rxHeader
 		if t != nil {
 			t.add(cyc, 0, in.name, "start bit detected; synchronizer armed")
 		}
+	case rxDrop:
+		in.state = rxHeader
+		if t != nil {
+			t.add(cyc, 0, in.name, "start bit detected; receiver resynchronized after drop")
+		}
+	default:
+		panic(fmt.Sprintf("comcobb: input %d saw a start bit mid-packet", in.id))
+	}
+}
+
+// onParityError performs graceful degradation for one corrupted byte and
+// reports whether the symbol was consumed (the packet is gone and the
+// receiver is swallowing). The invariant behind each branch: a packet
+// still being received is the newest entry of its destination queue, so
+// un-enqueueing it is popBack; a granted packet has already left its
+// queue and its transmitter is mid-stream, so it cannot be revoked — it
+// is poisoned and delivered corrupted, with no NACK (a retransmission
+// would duplicate it).
+func (in *InPort) onParityError(link *Link, sym wireSymbol) bool {
+	f := in.chip.flt
+	t := in.chip.trace
+	cyc := in.chip.cycle
+	switch in.state {
+	case rxIdle, rxDrop:
+		// Stray corrupted byte outside any packet; nothing to recover.
+		return true
+	case rxHeader:
+		// Header byte corrupted before any record or slot exists.
+		if t != nil {
+			t.add(cyc, 0, in.name, "parity error on header byte %#02x; packet dropped, NACK", sym.b)
+		}
+		link.postNACK()
+		f.countNACK()
+		in.state = rxDrop
+		return true
+	case rxLength:
+		// The length byte is released one cycle after routing ran: the
+		// packet owns its first slot and sits at the tail of its queue,
+		// and cannot have been granted (its length register is 0).
+		p := in.cur
+		if p.routed {
+			if got := in.queues[p.dest].popBack(); got != p {
+				panic(fmt.Sprintf("comcobb: input %d drop of %v un-enqueued %v", in.id, p, got))
+			}
+			in.releasePacketSlots(p)
+		} else {
+			in.recyclePacket(p)
+		}
+		if t != nil {
+			t.add(cyc, 0, in.name, "parity error on length byte; packet dropped, NACK")
+		}
+		in.cur = nil
+		link.postNACK()
+		f.countNACK()
+		in.state = rxDrop
+		return true
+	default: // rxData
+		p := in.cur
+		if p.granted {
+			if !p.poisoned {
+				p.poisoned = true
+				f.countPoisoned()
+				if t != nil {
+					t.add(cyc, 0, in.name, "parity error mid-cut-through: packet poisoned, no NACK")
+				}
+			}
+			return false
+		}
+		if t != nil {
+			t.add(cyc, 0, in.name, "parity error on data byte %d/%d; packet dropped, NACK", p.written, p.length)
+		}
+		if got := in.queues[p.dest].popBack(); got != p {
+			panic(fmt.Sprintf("comcobb: input %d drop of %v un-enqueued %v", in.id, p, got))
+		}
+		in.releasePacketSlots(p)
+		in.cur = nil
+		link.postNACK()
+		f.countNACK()
+		in.state = rxDrop
+		return true
 	}
 }
 

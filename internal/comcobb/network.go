@@ -1,5 +1,10 @@
 package comcobb
 
+import (
+	"damq/internal/fault"
+	"damq/internal/obs"
+)
+
 // Network ticks a set of connected chips with correct wire settling
 // order: every chip drives its output wires, then every chip samples its
 // input wires, then every chip runs its phase-1 control logic. Because a
@@ -40,20 +45,117 @@ func (n *Network) Run(cycles int) {
 
 // Driver feeds a scripted symbol sequence into one link, one symbol per
 // cycle, standing in for an upstream chip in testbenches and examples.
+//
+// With SetRetryPolicy the driver becomes fault-tolerant: it transmits
+// stop-and-wait, watching the link's NACK wire, and retransmits a NACKed
+// packet after an exponential backoff, up to the retry limit. Without a
+// policy it streams the flat script exactly as before.
 type Driver struct {
 	link *Link
 	syms []wireSymbol
 	pos  int
+
+	retry *retryState // nil: plain flat-stream driver
+	spans []drvSpan   // packet boundaries within syms (retry mode only)
+}
+
+// drvSpan is one queued packet's symbol range [start, end) in the script
+// buffer (trailing gap idles excluded — the retry guard supplies the
+// inter-packet spacing).
+type drvSpan struct {
+	start, end int
+}
+
+// Retry-mode transmission phases.
+const (
+	drvIdle      = iota // no packet in flight
+	drvStreaming        // driving the current packet's symbols
+	drvGuard            // packet sent; watching for a late NACK
+	drvBackoff          // NACKed; idling before retransmission
+)
+
+// nackGuard is how many idle cycles after a packet's last symbol the
+// driver keeps watching for a NACK: the last byte crosses the wire one
+// cycle after it is driven and leaves the receiver's synchronizer one
+// cycle later, so its NACK is visible two driver ticks after the byte.
+const nackGuard = 2
+
+// retryState is the stop-and-wait machinery of a fault-tolerant driver.
+type retryState struct {
+	limit   int // retransmissions allowed per packet
+	backoff int // idle cycles before attempt k: backoff << (k-1)
+
+	phase    int
+	count    int // cycles left in guard or backoff
+	attempts int // NACKs received for the current packet
+
+	retries   int64
+	gaveUp    int64
+	delivered int64
+
+	m *driverFaultMetrics // nil without an observer
+}
+
+// driverFaultMetrics are the driver's recovery instruments, registered
+// under the shared fault.* names only when faults are in play.
+type driverFaultMetrics struct {
+	retries  *obs.Counter
+	gaveUp   *obs.Counter
+	attempts *obs.Histogram
 }
 
 // NewDriver attaches a driver to a link.
 func NewDriver(link *Link) *Driver { return &Driver{link: link} }
 
+// SetRetryPolicy arms NACK-triggered retransmission: a NACKed packet is
+// resent after backoff<<(attempt-1) idle cycles, at most limit times,
+// then abandoned (counted by GaveUp). backoff <= 0 selects
+// fault.DefaultRetryBackoff. Must be called before the first Tick.
+func (d *Driver) SetRetryPolicy(limit, backoff int) {
+	if backoff <= 0 {
+		backoff = fault.DefaultRetryBackoff
+	}
+	d.retry = &retryState{limit: limit, backoff: backoff}
+}
+
+// ObserveFaults registers the driver's recovery instruments (retry and
+// give-up counters, attempts-per-delivery histogram) in o's registry.
+// Call after SetRetryPolicy.
+func (d *Driver) ObserveFaults(o *obs.Observer) {
+	if d.retry == nil || o == nil {
+		return
+	}
+	r := o.Registry()
+	d.retry.m = &driverFaultMetrics{
+		retries:  r.Counter(fault.MetricRetries),
+		gaveUp:   r.Counter(fault.MetricGaveUp),
+		attempts: r.Histogram(fault.MetricRetryAttempts, 8, 1),
+	}
+}
+
+// Retries reports how many retransmissions the driver has performed.
+func (d *Driver) Retries() int64 {
+	if d.retry == nil {
+		return 0
+	}
+	return d.retry.retries
+}
+
+// GaveUp reports how many packets were abandoned after the retry budget.
+func (d *Driver) GaveUp() int64 {
+	if d.retry == nil {
+		return 0
+	}
+	return d.retry.gaveUp
+}
+
 // Queue appends a first-of-message packet's wire symbols (plus a trailing
 // idle gap of gap cycles) to the script.
 func (d *Driver) Queue(header byte, data []byte, gap int) {
 	d.compact()
+	start := len(d.syms)
 	d.syms = AppendWire(d.syms, header, data)
+	d.markSpan(start)
 	for i := 0; i < gap; i++ {
 		d.syms = append(d.syms, wireSymbol{})
 	}
@@ -63,9 +165,17 @@ func (d *Driver) Queue(header byte, data []byte, gap int) {
 // the receiving circuit's ContLength must equal len(data)).
 func (d *Driver) QueueCont(header byte, data []byte, gap int) {
 	d.compact()
+	start := len(d.syms)
 	d.syms = AppendWireCont(d.syms, header, data)
+	d.markSpan(start)
 	for i := 0; i < gap; i++ {
 		d.syms = append(d.syms, wireSymbol{})
+	}
+}
+
+func (d *Driver) markSpan(start int) {
+	if d.retry != nil {
+		d.spans = append(d.spans, drvSpan{start: start, end: len(d.syms)})
 	}
 }
 
@@ -73,6 +183,12 @@ func (d *Driver) QueueCont(header byte, data []byte, gap int) {
 // driven, so a long-lived driver reuses one buffer instead of growing it
 // with every transmission.
 func (d *Driver) compact() {
+	if d.retry != nil {
+		if len(d.spans) == 0 && d.retry.phase == drvIdle {
+			d.syms = d.syms[:0]
+		}
+		return
+	}
 	if d.pos == len(d.syms) {
 		d.syms = d.syms[:0]
 		d.pos = 0
@@ -80,15 +196,114 @@ func (d *Driver) compact() {
 }
 
 // Pending reports how many scripted symbols remain.
-func (d *Driver) Pending() int { return len(d.syms) - d.pos }
+func (d *Driver) Pending() int {
+	if d.retry != nil {
+		n := 0
+		for _, s := range d.spans {
+			n += s.end - s.start
+		}
+		if d.retry.phase == drvStreaming || d.retry.phase == drvGuard || d.retry.phase == drvBackoff {
+			// The in-flight packet still occupies the wire even once all
+			// its symbols are out.
+			if n == 0 {
+				n = 1
+			}
+		}
+		return n
+	}
+	return len(d.syms) - d.pos
+}
 
 // Tick drives the next scripted symbol (or idle) onto the link. Call it
 // before the network's Tick for the same cycle.
 func (d *Driver) Tick() {
+	if d.retry != nil {
+		d.tickRetry()
+		return
+	}
 	if d.pos < len(d.syms) {
 		d.link.drive(d.syms[d.pos])
 		d.pos++
 		return
 	}
 	d.link.drive(wireSymbol{})
+}
+
+// tickRetry is Tick under a retry policy: stop-and-wait with NACK
+// detection, exponential backoff, and a bounded retry budget.
+func (d *Driver) tickRetry() {
+	r := d.retry
+	// The NACK wire is consumed every tick so a stale flag can never
+	// blame a later packet. A NACK matters only while a packet is in
+	// flight (streaming or guard).
+	if d.link.TakeNACK() && (r.phase == drvStreaming || r.phase == drvGuard) {
+		r.attempts++
+		if r.attempts > r.limit {
+			r.gaveUp++
+			if r.m != nil {
+				r.m.gaveUp.Inc()
+			}
+			d.finishPacket()
+		} else {
+			r.retries++
+			if r.m != nil {
+				r.m.retries.Inc()
+			}
+			r.phase = drvBackoff
+			r.count = r.backoff << (r.attempts - 1)
+		}
+		d.link.drive(wireSymbol{})
+		return
+	}
+	switch r.phase {
+	case drvIdle:
+		if len(d.spans) == 0 {
+			d.link.drive(wireSymbol{})
+			return
+		}
+		r.phase = drvStreaming
+		d.pos = d.spans[0].start
+		d.driveStream()
+	case drvStreaming:
+		d.driveStream()
+	case drvGuard:
+		d.link.drive(wireSymbol{})
+		if r.count--; r.count == 0 {
+			// No NACK within the guard window: the packet is in the
+			// receiver's buffer.
+			r.delivered++
+			if r.m != nil {
+				r.m.attempts.Observe(int64(r.attempts + 1))
+			}
+			d.finishPacket()
+		}
+	case drvBackoff:
+		d.link.drive(wireSymbol{})
+		if r.count--; r.count == 0 {
+			r.phase = drvStreaming
+			d.pos = d.spans[0].start
+		}
+	}
+}
+
+// driveStream emits the current packet's next symbol, entering the guard
+// window after the last one.
+func (d *Driver) driveStream() {
+	d.link.drive(d.syms[d.pos])
+	d.pos++
+	if d.pos == d.spans[0].end {
+		d.retry.phase = drvGuard
+		d.retry.count = nackGuard
+	}
+}
+
+// finishPacket retires the current packet (delivered or abandoned) and
+// returns the driver to idle.
+func (d *Driver) finishPacket() {
+	d.spans = d.spans[1:]
+	if len(d.spans) == 0 {
+		d.spans = nil
+	}
+	d.retry.phase = drvIdle
+	d.retry.attempts = 0
 }

@@ -39,6 +39,7 @@ func (out *OutPort) grant(src *InPort) {
 		panic(fmt.Sprintf("comcobb: grant to busy output %d", out.id))
 	}
 	pkt := src.pop(out.id)
+	pkt.granted = true
 	out.active = true
 	out.src = src
 	out.pkt = pkt
@@ -72,19 +73,22 @@ func (out *OutPort) phase0() {
 			t.add(cyc, 0, out.name, "start bit transmitted")
 		}
 	case out.sent == 1:
-		out.link.drive(wireSymbol{valid: true, b: out.pkt.newHeader})
+		out.link.drive(dataSymbol(out.pkt.newHeader))
 		if t != nil {
 			t.add(cyc, 0, out.name, "header byte %#02x transmitted", out.pkt.newHeader)
 		}
 	case out.sent == 2 && !out.pkt.noLenByte:
-		out.link.drive(wireSymbol{valid: true, b: byte(out.pkt.length)})
+		out.link.drive(dataSymbol(byte(out.pkt.length)))
 		if t != nil {
 			t.add(cyc, 0, out.name, "length byte %d transmitted; read counter loaded", out.pkt.length)
 		}
 	default:
 		idx := out.sent - dataStart
 		b := out.src.readByte(out.pkt, idx)
-		out.link.drive(wireSymbol{valid: true, b: b})
+		// Parity is regenerated from the stored byte, as the hardware's
+		// output stage does — which is why a poisoned packet's corruption
+		// survives undetected downstream.
+		out.link.drive(dataSymbol(b))
 		if idx == out.pkt.length-1 {
 			out.finished = true
 			if t != nil {

@@ -1,13 +1,29 @@
 package comcobb
 
+import "math/bits"
+
 // wireSymbol is what one link carries in one clock cycle: either nothing,
 // a start bit, or a data byte. The chip's links are 8 data wires plus
 // framing; the start bit occupies its own cycle before the header byte
-// (Section 3.2).
+// (Section 3.2). The parity wire (par) carries odd parity over the data
+// byte; a fault-checking receiver compares it against the byte it sees,
+// so any single-bit corruption of the data wires is detected. Fault-free
+// chips ignore it.
 type wireSymbol struct {
 	start bool
 	valid bool
 	b     byte
+	par   bool
+}
+
+// oddParity is the parity wire's value for byte b.
+// damqvet:hotpath
+func oddParity(b byte) bool { return bits.OnesCount8(b)&1 == 1 }
+
+// dataSymbol builds a valid data-byte symbol with its parity wire set.
+// damqvet:hotpath
+func dataSymbol(b byte) wireSymbol {
+	return wireSymbol{valid: true, b: b, par: oddParity(b)}
 }
 
 // Link is a unidirectional point-to-point connection delivering one
@@ -23,6 +39,22 @@ type Link struct {
 	// sink collects delivered symbols when there is no downstream port
 	// (testbench memories / the local processor).
 	sink []wireSymbol
+	// nack is the reverse-direction NACK wire: a fault-checking receiver
+	// raises it when it drops a packet on a parity error, and the
+	// upstream driver consumes it with TakeNACK to trigger retransmission.
+	nack bool
+}
+
+// postNACK raises the link's NACK wire (receiver side).
+// damqvet:hotpath
+func (l *Link) postNACK() { l.nack = true }
+
+// TakeNACK reads and clears the NACK wire (sender side).
+// damqvet:hotpath
+func (l *Link) TakeNACK() bool {
+	n := l.nack
+	l.nack = false
+	return n
 }
 
 // drive places this cycle's symbol on the wire.
@@ -57,10 +89,10 @@ func AppendWire(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 		panic("comcobb: packet data must be 1..32 bytes")
 	}
 	dst = append(dst, wireSymbol{start: true},
-		wireSymbol{valid: true, b: header},
-		wireSymbol{valid: true, b: byte(len(data))})
+		dataSymbol(header),
+		dataSymbol(byte(len(data))))
 	for _, b := range data {
-		dst = append(dst, wireSymbol{valid: true, b: b})
+		dst = append(dst, dataSymbol(b))
 	}
 	return dst
 }
@@ -79,9 +111,9 @@ func AppendWireCont(dst []wireSymbol, header byte, data []byte) []wireSymbol {
 	if len(data) == 0 || len(data) > MaxDataBytes {
 		panic("comcobb: packet data must be 1..32 bytes")
 	}
-	dst = append(dst, wireSymbol{start: true}, wireSymbol{valid: true, b: header})
+	dst = append(dst, wireSymbol{start: true}, dataSymbol(header))
 	for _, b := range data {
-		dst = append(dst, wireSymbol{valid: true, b: b})
+		dst = append(dst, dataSymbol(b))
 	}
 	return dst
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,21 @@ type Scale struct {
 	// byte-identical at any worker count. Excluded from JSON reports for
 	// the same reason: the report must not depend on how it was computed.
 	Workers int `json:"-"`
+	// Ctx, when non-nil, cancels sweeps cooperatively: no new simulation
+	// points start after cancellation, the point in flight stops at its
+	// next stride boundary, and the sweep returns ctx.Err() alongside
+	// whatever completed. The CLIs set it from SIGINT/SIGTERM so an
+	// interrupted sweep flushes partial results instead of dying mid-write.
+	// Excluded from JSON for the same reason as Workers.
+	Ctx context.Context `json:"-"`
+}
+
+// ctx resolves the scale's context, defaulting to Background.
+func (sc Scale) ctx() context.Context {
+	if sc.Ctx == nil {
+		return context.Background()
+	}
+	return sc.Ctx
 }
 
 // Full is the scale used for the recorded results.
@@ -160,6 +176,9 @@ func netRun(kind buffer.Kind, proto sw.Protocol, policy arbiter.Policy,
 	if err != nil {
 		return nil, err
 	}
+	if sc.Ctx != nil {
+		return sim.RunCtx(sc.Ctx)
+	}
 	return sim.Run(), nil
 }
 
@@ -177,7 +196,19 @@ type runSpec struct {
 // simulator from its own seed, so points share no mutable state; ordered
 // results keep every table byte-identical to the serial rendering.
 func runAll(specs []runSpec, sc Scale) ([]*netsim.Result, error) {
-	return parallel.Map(len(specs), sc.Workers, func(i int) (*netsim.Result, error) {
+	results, _, err := runAllPartial(specs, sc)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runAllPartial is runAll without the all-or-nothing contract: on
+// cancellation (sc.Ctx) it returns whatever points completed — nil
+// entries mark the rest — together with the completed count, so sweeps
+// can flush partial output with an "interrupted at done/total" footer.
+func runAllPartial(specs []runSpec, sc Scale) ([]*netsim.Result, int, error) {
+	return parallel.MapCtx(sc.ctx(), len(specs), sc.Workers, func(i int) (*netsim.Result, error) {
 		s := specs[i]
 		return netRun(s.kind, s.proto, s.policy, s.capacity, s.traffic, sc)
 	})

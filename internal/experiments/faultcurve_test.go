@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+func TestFaultCurve(t *testing.T) {
+	sc := Scale{Warmup: 200, Measure: 1500, Seed: 5, Workers: 2}
+	rows, err := FaultCurve(nil, []float64{0, 5e-3}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0].Points) != 2 {
+		t.Fatalf("shape: %d rows", len(rows))
+	}
+	for _, row := range rows {
+		clean, faulted := row.Points[0], row.Points[1]
+		if clean.Rate != 0 || clean.FaultedPct != 0 || clean.Quarantined != 0 {
+			t.Fatalf("%v: rate-0 baseline shows faults: %+v", row.Kind, clean)
+		}
+		if faulted.FaultedPct == 0 {
+			t.Fatalf("%v: no faulted traffic at link rate 5e-3", row.Kind)
+		}
+		if faulted.Throughput >= clean.Throughput {
+			t.Fatalf("%v: throughput did not degrade under faults (%.3f >= %.3f)",
+				row.Kind, faulted.Throughput, clean.Throughput)
+		}
+	}
+	// DAMQ has a slot pool: the riding slot faults must quarantine some.
+	for _, row := range rows {
+		if row.Kind == buffer.DAMQ && row.Points[1].Quarantined == 0 {
+			t.Fatal("DAMQ point quarantined no slots at slot rate 5e-4")
+		}
+	}
+
+	text := RenderFaultCurve(rows)
+	if !strings.Contains(text, "DAMQ") || !strings.Contains(text, "faulted %") {
+		t.Fatalf("render malformed:\n%s", text)
+	}
+
+	// The curve is deterministic: same scale, same rows.
+	again, err := FaultCurve(nil, []float64{0, 5e-3}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderFaultCurve(again) != text {
+		t.Fatal("fault curve not reproducible")
+	}
+}
+
+// TestScaleCtxCancelsSweep: a cancelled scale context aborts a sweep with
+// context.Canceled; Grid.Run flushes the completed points instead of
+// discarding them.
+func TestScaleCtxCancelsSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := Scale{Warmup: 100, Measure: 500, Seed: 1, Workers: 1, Ctx: ctx}
+
+	if _, err := Table3(sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table3 err = %v, want context.Canceled", err)
+	}
+
+	g := Grid{
+		Kinds: []buffer.Kind{buffer.DAMQ}, Loads: []float64{0.3, 0.5},
+		Capacities: []int{4},
+	}
+	points, err := g.Run(sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Grid.Run err = %v, want context.Canceled", err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("pre-cancelled grid completed %d points", len(points))
+	}
+
+	// Live context: identical output to a no-context run.
+	sc.Ctx = context.Background()
+	live, err := g.Run(sc)
+	if err != nil || len(live) != 2 {
+		t.Fatalf("live grid: %v (%d points)", err, len(live))
+	}
+	sc.Ctx = nil
+	plain, err := g.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if live[i] != plain[i] {
+			t.Fatalf("point %d differs with live ctx: %+v vs %+v", i, live[i], plain[i])
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -45,7 +47,40 @@ type GridPoint struct {
 // valid cells through the worker pool. Invalid combinations (static
 // buffers whose capacity is not divisible by the radix) are skipped
 // rather than failing the sweep.
+//
+// When sc.Ctx is cancelled mid-sweep, Run returns the completed points
+// (in spec order, incomplete cells omitted) together with ctx's error,
+// so callers can flush partial output instead of discarding the work.
 func (g Grid) Run(sc Scale) ([]GridPoint, error) {
+	specs := g.specs()
+	results, _, err := runAllPartial(specs, sc)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, fmt.Errorf("grid sweep: %w", err)
+	}
+	out := make([]GridPoint, 0, len(specs))
+	for i, s := range specs {
+		r := results[i]
+		if r == nil {
+			continue // cancelled before this cell completed
+		}
+		out = append(out, GridPoint{
+			Kind:       s.kind,
+			Capacity:   s.capacity,
+			Load:       s.traffic.Load,
+			Throughput: r.Throughput(),
+			Latency:    r.LatencyFromBorn.Mean(),
+			LatencyP99: r.LatencyP(0.99),
+			Discarded:  r.DiscardFraction(),
+			Backlog:    r.SourceBacklog.Mean(),
+		})
+	}
+	// err is nil or the cancellation cause; either way out holds every
+	// completed point.
+	return out, err
+}
+
+// specs enumerates the sweep's valid cells in output order.
+func (g Grid) specs() []runSpec {
 	var specs []runSpec
 	for _, kind := range g.Kinds {
 		for _, cap := range g.Capacities {
@@ -63,26 +98,12 @@ func (g Grid) Run(sc Scale) ([]GridPoint, error) {
 			}
 		}
 	}
-	results, err := runAll(specs, sc)
-	if err != nil {
-		return nil, fmt.Errorf("grid sweep: %w", err)
-	}
-	out := make([]GridPoint, 0, len(specs))
-	for i, s := range specs {
-		r := results[i]
-		out = append(out, GridPoint{
-			Kind:       s.kind,
-			Capacity:   s.capacity,
-			Load:       s.traffic.Load,
-			Throughput: r.Throughput(),
-			Latency:    r.LatencyFromBorn.Mean(),
-			LatencyP99: r.LatencyP(0.99),
-			Discarded:  r.DiscardFraction(),
-			Backlog:    r.SourceBacklog.Mean(),
-		})
-	}
-	return out, nil
+	return specs
 }
+
+// Points reports how many cells the sweep will run — the denominator of
+// an "interrupted at N/M" report.
+func (g Grid) Points() int { return len(g.specs()) }
 
 // WriteCSV emits the sweep results with a header row.
 func WriteCSV(w io.Writer, points []GridPoint) error {

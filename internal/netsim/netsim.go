@@ -31,6 +31,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 
 	"damq/internal/arbiter"
@@ -175,6 +176,11 @@ type Result struct {
 	Delivered        int64 // packets delivered in the window
 	DiscardedAtEntry int64 // discarding protocol: dropped before stage 0
 	DiscardedInNet   int64 // discarding protocol: dropped between stages
+	// FaultedInNet counts packets dropped on dead or flapping links in
+	// the window (SetFaults). Distinct from DiscardedInNet so protocol
+	// losses and injected-fault losses never blur; zero (and absent from
+	// JSON) on fault-free runs.
+	FaultedInNet int64 `json:",omitempty"`
 
 	// LatencyFromBorn includes source-queue wait (clock cycles).
 	LatencyFromBorn stats.Summary
@@ -225,12 +231,22 @@ func (r *Result) OfferedLoad() float64 {
 }
 
 // DiscardFraction is the fraction of generated packets discarded anywhere
-// (Table 3's "percent discarded" divided by 100).
+// (Table 3's "percent discarded" divided by 100). Fault drops are not
+// protocol discards; see FaultFraction.
 func (r *Result) DiscardFraction() float64 {
 	if r.Generated == 0 {
 		return 0
 	}
 	return float64(r.DiscardedAtEntry+r.DiscardedInNet) / float64(r.Generated)
+}
+
+// FaultFraction is the fraction of generated packets lost to injected
+// link faults.
+func (r *Result) FaultFraction() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return float64(r.FaultedInNet) / float64(r.Generated)
 }
 
 // Sim is one instantiated network.
@@ -285,6 +301,11 @@ type Sim struct {
 	// runs execute no instrument code and stay bit-identical — the
 	// pattern damqvet's zeroalloc rule polices.
 	metrics *netMetrics
+
+	// flt is the attached fault-injection state (SetFaults); nil means
+	// fault-free. Like metrics, every hot-path use sits behind a nil
+	// check, so fault-free runs are bit-identical and allocation-free.
+	flt *netFaults
 }
 
 type move struct {
@@ -436,6 +457,13 @@ func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
 func (s *Sim) Step(res *Result, measuring bool) {
 	nStages := s.top.Stages()
 
+	// Fault schedule, cycle start: slots whose failure time has arrived
+	// leave service before anything moves this cycle, so arbitration and
+	// flow control see the shrunken capacity consistently.
+	if s.flt != nil && s.flt.next < len(s.flt.events) {
+		s.applyDueSlotFaults()
+	}
+
 	if measuring {
 		// Allocate the lazily created measurement structures once per run
 		// rather than testing for them on every delivery (use NewResult to
@@ -479,6 +507,17 @@ func (s *Sim) Step(res *Result, measuring bool) {
 	// Phase 2: deliveries and inter-stage transfers (pops already done).
 	for i := range s.moveScratch {
 		mv := &s.moveScratch[i]
+		// A granted packet crosses the link leaving its switch; if that
+		// link is down this cycle it is dropped here — counted as
+		// faulted-discard, never silently lost. This applies under both
+		// protocols: blocking flow control cannot see a link die after
+		// the grant, exactly like the hardware.
+		if s.flt != nil && s.dropOnFaultedLink(mv.stage, mv.swIdx, mv.out, res, measuring) {
+			s.inFlight--
+			s.alloc.Recycle(mv.p)
+			mv.p = nil
+			continue
+		}
 		if mv.stage == nStages-1 {
 			s.inFlight--
 			s.deliver(mv.p, res, measuring)
@@ -689,4 +728,36 @@ func (s *Sim) Run() *Result {
 		s.Step(res, true)
 	}
 	return res
+}
+
+// ctxCheckStride is how many cycles RunCtx simulates between context
+// polls: rare enough to stay off the profile, frequent enough that an
+// interrupt lands within milliseconds.
+const ctxCheckStride = 256
+
+// RunCtx is Run with cooperative cancellation: it polls ctx every
+// ctxCheckStride cycles and, when cancelled, returns the partial Result
+// together with ctx.Err(). The partial result describes itself — its
+// Config.MeasureCycles is rewritten to the cycles actually measured, so
+// Throughput and the per-cycle rates stay correct and the caller can
+// report "interrupted at N of M". An uncancelled RunCtx returns exactly
+// what Run would.
+func (s *Sim) RunCtx(ctx context.Context) (*Result, error) {
+	res := s.NewResult()
+	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			res.Config.MeasureCycles = 0
+			return res, ctx.Err()
+		}
+		s.Step(res, false)
+	}
+	s.warmupBoundary = s.cycle
+	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+		if i%ctxCheckStride == 0 && ctx.Err() != nil {
+			res.Config.MeasureCycles = i
+			return res, ctx.Err()
+		}
+		s.Step(res, true)
+	}
+	return res, nil
 }

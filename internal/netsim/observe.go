@@ -79,6 +79,9 @@ type netMetrics struct {
 func (s *Sim) SetObserver(o *obs.Observer) {
 	if o == nil {
 		s.metrics = nil
+		if s.flt != nil {
+			s.flt.m = nil
+		}
 		for st := range s.stages {
 			for _, swc := range s.stages[st] {
 				swc.SetMetrics(nil)
@@ -121,6 +124,11 @@ func (s *Sim) SetObserver(o *obs.Observer) {
 		}
 	}
 	s.metrics = m
+	// Fault instruments ride on the same observer, but only when faults
+	// are armed: a fault-free snapshot must not grow fault.* keys.
+	if s.flt != nil {
+		s.flt.register(o)
+	}
 }
 
 // sampleMetrics runs at the end of every measured cycle with an observer

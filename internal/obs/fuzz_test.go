@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes — broken JSON, valid JSON of
+// the wrong shape, hostile numeric values — to the snapshot decoder.
+// It must either return an error or a snapshot whose accessors and
+// re-encode path are safe to use: no panics, and Encode∘Decode is a
+// fixed point (the second decode reproduces the first snapshot's bytes).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":{"a":1},"gauges":{"b":-2},"histograms":{}}`))
+	f.Add([]byte(`{"histograms":{"h":{"width":0,"buckets":[1,2],"overflow":-1,"total":0,"sum":9}}}`))
+	f.Add([]byte(`{"series":[{"cycle":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"counters":{"a":1e999}}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := DecodeSnapshot(raw)
+		if err != nil {
+			return
+		}
+		// Accessors tolerate any decoded shape, including nil maps and
+		// zero-total histograms (Mean must not divide by zero).
+		s.Counter("missing")
+		s.Gauge("missing")
+		s.Histogram("missing")
+		for _, h := range s.Histograms {
+			_ = h.Mean()
+		}
+		enc1, err := s.Encode()
+		if err != nil {
+			t.Fatalf("encode of decoded snapshot failed: %v", err)
+		}
+		s2, err := DecodeSnapshot(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of encoded snapshot failed: %v\n%s", err, enc1)
+		}
+		enc2, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("Encode/Decode is not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}

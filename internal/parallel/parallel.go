@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,15 @@ func Workers(n int) int {
 // synchronization at all, so a single-worker run is exactly the serial
 // loop it replaced.
 func For(n, workers int, fn func(i int) error) error {
+	return ForCtx(context.Background(), n, workers, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled no
+// new jobs start (jobs already running finish normally — fn is not
+// interrupted). If the loop was cut short by cancellation ForCtx returns
+// ctx.Err(), which takes precedence over job errors; a Background
+// context makes it exactly For.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -42,11 +52,14 @@ func For(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 
 	var (
@@ -62,7 +75,7 @@ func For(n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stopped.Load() {
+			for !stopped.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -95,6 +108,9 @@ func For(n, workers int, fn func(i int) error) error {
 	if panicked != nil {
 		panic(panicked)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return firstErr
 }
 
@@ -102,17 +118,29 @@ func For(n, workers int, fn func(i int) error) error {
 // results in index order. On error the partial results are discarded and
 // only the error is returned.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := For(n, workers, func(i int) error {
+	out, _, err := MapCtx(context.Background(), n, workers, fn)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapCtx is Map with cooperative cancellation. Unlike Map it never
+// discards work: it always returns the results slice (zero values at
+// indices whose jobs did not complete) together with the completed-job
+// count, so a cancelled sweep can flush what it finished — report
+// "interrupted at done/n" — instead of throwing it away.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) (out []T, done int, err error) {
+	out = make([]T, n)
+	var completed atomic.Int64
+	err = ForCtx(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
 		}
 		out[i] = v
+		completed.Add(1)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, int(completed.Load()), err
 }

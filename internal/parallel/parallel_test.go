@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -108,5 +109,70 @@ func TestMapEmpty(t *testing.T) {
 	got, err := Map(0, 4, func(i int) (string, error) { return "x", nil })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestForCtxCancelStopsNewJobs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		err := ForCtx(ctx, 10_000, workers, func(i int) error {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := started.Load(); n > 100 {
+			t.Errorf("workers=%d: started %d jobs after cancel", workers, n)
+		}
+	}
+}
+
+func TestForCtxBackgroundIsFor(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForCtx(context.Background(), 64, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d jobs, want 64", ran.Load())
+	}
+}
+
+func TestMapCtxKeepsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Bool
+	out, done, err := MapCtx(ctx, 1000, 1, func(i int) (int, error) {
+		if i == 10 && !fired.Swap(true) {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if done < 10 || done >= 1000 {
+		t.Fatalf("done = %d, want partial", done)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	// The serial path completes exactly jobs [0, done); their results must
+	// be present, the rest zero.
+	for i := 0; i < done; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+	for i := done; i < 1000; i++ {
+		if out[i] != 0 {
+			t.Fatalf("out[%d] = %d, want 0 (never ran)", i, out[i])
+		}
 	}
 }

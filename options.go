@@ -17,6 +17,8 @@ type options struct {
 	workersSet bool
 	scale      ExperimentScale
 	scaleSet   bool
+	faults     FaultConfig
+	faultsSet  bool
 }
 
 // WithObserver attaches an observer: the constructed simulation, buffer,
@@ -45,6 +47,21 @@ func WithWorkers(n int) Option {
 	return func(op *options) {
 		op.workers = n
 		op.workersSet = true
+	}
+}
+
+// WithFaults arms deterministic fault injection on the constructed
+// simulation, chip, or buffer: stuck buffer slots are quarantined out of
+// the free lists (capacity shrinks, structure stays sound), corrupted
+// wire bytes are caught by parity and NACK-retransmitted, and dead or
+// flapping network links turn their traffic into counted faulted
+// discards. Fault decisions are pure functions of (seed, site, cycle),
+// so a schedule replays byte-for-byte; a disabled config (all rates
+// zero) is exactly equivalent to omitting the option.
+func WithFaults(fc FaultConfig) Option {
+	return func(op *options) {
+		op.faults = fc
+		op.faultsSet = true
 	}
 }
 

@@ -4,7 +4,14 @@
 // than an anecdote. BENCH_netsim.json at the repo root is the recorded
 // baseline; regenerate it after intentional performance work with:
 //
-//	go run ./cmd/benchreport -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket' -out BENCH_netsim.json
+//	go run ./cmd/benchreport -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket' \
+//	    -notime 'Sharded|1024' -out BENCH_netsim.json
+//
+// -notime names benchmarks whose wall-clock is not comparable across
+// machines — the multi-worker sharded benchmarks, whose ns/op depends on
+// the core count of whatever ran them. Matching entries record -1 ns/op
+// (so -check skips the time gate for them) while their B/op and
+// allocs/op stay recorded and gated exactly like everything else.
 //
 // Each benchmark is run -count times and the per-metric minimum is
 // recorded: minima are the stable statistic under machine noise (ns/op
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +57,7 @@ type Entry struct {
 type Report struct {
 	Package    string  `json:"package"`
 	BenchRegex string  `json:"bench_regex"`
+	NoTime     string  `json:"notime_regex,omitempty"`
 	Count      int     `json:"count"`
 	GoVersion  string  `json:"go_version"`
 	Benchmarks []Entry `json:"benchmarks"`
@@ -59,6 +68,7 @@ func main() {
 	bench := flag.String("bench", "BenchmarkNetworkCycle|BenchmarkChipNetworkPacket",
 		"regexp passed to go test -bench")
 	count := flag.Int("count", 3, "runs per benchmark; the minimum of each metric is recorded")
+	notime := flag.String("notime", "", "regexp of benchmarks whose ns/op is machine-dependent (e.g. multi-worker shards); recorded as -1 so -check gates only their allocations")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	check := flag.Bool("check", false, "compare a fresh run against -baseline and exit 1 on regression")
 	baseline := flag.String("baseline", "BENCH_netsim.json", "baseline snapshot for -check")
@@ -74,10 +84,18 @@ func main() {
 	if len(entries) == 0 {
 		fatal(fmt.Errorf("no benchmark lines matched %q in %s", *bench, *pkg))
 	}
+	if *notime != "" {
+		re, err := regexp.Compile(*notime)
+		if err != nil {
+			fatal(fmt.Errorf("bad -notime regexp: %w", err))
+		}
+		stripTimes(entries, re)
+	}
 
 	rep := Report{
 		Package:    *pkg,
 		BenchRegex: *bench,
+		NoTime:     *notime,
 		Count:      *count,
 		GoVersion:  goVersion(),
 		Benchmarks: entries,
@@ -111,6 +129,18 @@ func run(pkg, bench string, count int) []Entry {
 		fatal(err)
 	}
 	return entries
+}
+
+// stripTimes erases the wall-clock metric of entries matching the
+// -notime regexp: NsPerOp becomes -1, which compare treats as "no time
+// gate". Allocation metrics are untouched.
+func stripTimes(entries []Entry, re *regexp.Regexp) {
+	for i := range entries {
+		if re.MatchString(entries[i].Name) {
+			entries[i].NsPerOp = -1
+			entries[i].Iterations = 0
+		}
+	}
 }
 
 // runCheck re-runs the baseline's benchmarks and fails on regression.

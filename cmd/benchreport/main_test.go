@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -89,6 +90,32 @@ func TestCompareBytesSlackForTinyBaselines(t *testing.T) {
 	problems, _ = compare(base, fresh, 0.25)
 	if len(problems) != 1 || !strings.Contains(problems[0], "B/op") {
 		t.Errorf("real B/op regression not caught: %v", problems)
+	}
+}
+
+func TestStripTimesSkipsNsGateOnly(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkNetworkCycle1024Sharded", NsPerOp: 5000, Iterations: 10, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkNetworkCycle", NsPerOp: 1000, Iterations: 99, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	stripTimes(entries, regexp.MustCompile("Sharded"))
+	if entries[0].NsPerOp != -1 || entries[0].Iterations != 0 {
+		t.Errorf("sharded entry time not stripped: %+v", entries[0])
+	}
+	if entries[1].NsPerOp != 1000 {
+		t.Errorf("unmatched entry modified: %+v", entries[1])
+	}
+	// A -1 ns/op baseline gates allocations but never wall-clock: a run
+	// 100× slower passes, one extra alloc fails.
+	fresh := []Entry{{Name: "BenchmarkNetworkCycle1024Sharded", NsPerOp: 500000, BytesPerOp: 0, AllocsPerOp: 0}}
+	problems, _ := compare(entries[:1], fresh, 0.25)
+	if len(problems) != 0 {
+		t.Errorf("time-stripped baseline still gated ns/op: %v", problems)
+	}
+	fresh[0].AllocsPerOp = 1
+	problems, _ = compare(entries[:1], fresh, 0.25)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op") {
+		t.Errorf("alloc regression not caught under -notime: %v", problems)
 	}
 }
 

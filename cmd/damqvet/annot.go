@@ -6,7 +6,7 @@ import (
 	"strings"
 )
 
-// The two source annotations damqvet understands:
+// The three source annotations damqvet understands:
 //
 //	// damqvet:hotpath — this function (or function literal) is on a
 //	0-allocs/op benchmark path; the zeroalloc rules apply to its body.
@@ -15,25 +15,33 @@ import (
 //	result does not depend on iteration order. The determinism rule
 //	accepts the loop without further analysis.
 //
+//	// damqvet:sharded — this shard method has been audited: the
+//	coordinator-state writes in its body are barrier-owned (they run in
+//	a serial section, or every shard writes a disjoint slot). The
+//	sharded-determinism rule accepts the function without further
+//	analysis.
+//
 // A marker applies to the node that starts on the same line (trailing
 // comment) or on the line immediately below the marker; for function
 // declarations, a marker anywhere in the doc comment also counts.
 const (
 	markHotpath = "damqvet:hotpath"
 	markOrdered = "damqvet:ordered"
+	markSharded = "damqvet:sharded"
 )
 
 // fileAnnots records, per marker kind, the source lines carrying one.
 type fileAnnots struct {
 	hotpath map[int]bool
 	ordered map[int]bool
+	sharded map[int]bool
 }
 
 // collectAnnots scans a file's comments for damqvet markers. A marker
 // must be the first token of its comment; trailing justification text
 // ("// damqvet:ordered keys feed a histogram") is allowed and encouraged.
 func collectAnnots(fset *token.FileSet, f *ast.File) fileAnnots {
-	a := fileAnnots{hotpath: map[int]bool{}, ordered: map[int]bool{}}
+	a := fileAnnots{hotpath: map[int]bool{}, ordered: map[int]bool{}, sharded: map[int]bool{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
@@ -43,6 +51,8 @@ func collectAnnots(fset *token.FileSet, f *ast.File) fileAnnots {
 				a.hotpath[line] = true
 			case isMarker(text, markOrdered):
 				a.ordered[line] = true
+			case isMarker(text, markSharded):
+				a.sharded[line] = true
 			}
 		}
 	}
@@ -98,4 +108,13 @@ func isHotpathLit(ann fileAnnots, fset *token.FileSet, lit *ast.FuncLit) bool {
 // waiver.
 func isOrderedWaiver(ann fileAnnots, fset *token.FileSet, pos token.Pos) bool {
 	return appliesTo(ann.ordered, fset.Position(pos).Line)
+}
+
+// isShardedFunc reports whether a function declaration carries the
+// sharded waiver (doc marker, or marker on/above its first line).
+func isShardedFunc(ann fileAnnots, fset *token.FileSet, decl *ast.FuncDecl) bool {
+	if docHasMarker(decl.Doc, markSharded) {
+		return true
+	}
+	return appliesTo(ann.sharded, fset.Position(decl.Pos()).Line)
 }

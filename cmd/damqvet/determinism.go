@@ -9,9 +9,10 @@ import (
 
 // determinism enforces the byte-identical-output invariant inside the
 // simulation/experiment packages: no map-order-dependent iteration, no
-// wall-clock reads, no process-global randomness, and no ad-hoc
-// goroutines (concurrency is routed through internal/parallel, which
-// merges results in deterministic order).
+// wall-clock reads, no process-global randomness, no ad-hoc goroutines
+// (concurrency is routed through internal/parallel, which merges results
+// in deterministic order), and no coordinator-state writes from shard
+// methods outside barrier-owned sections (shard.go).
 func (c *Checker) determinism(p *Package) {
 	if !c.isSimPackage(p.Path) {
 		return
@@ -19,6 +20,7 @@ func (c *Checker) determinism(p *Package) {
 	par := isParallelPackage(p.Path)
 	for _, f := range p.Files {
 		ann := collectAnnots(c.Fset, f)
+		c.checkShardWrites(p, ann, f)
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if path == "math/rand" || path == "math/rand/v2" {

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The sharded-determinism rule (part of the determinism family).
+//
+// The sharded stepping core partitions each stage's switches across
+// shard workers and lets the shards run concurrently between barriers.
+// The contract that keeps the output byte-identical at any worker count
+// is ownership: between barriers a shard may mutate only its own state;
+// coordinator state (reached through the shard's `sim` back-pointer) is
+// written only in the serial prologue/epilogue that the coordinator runs
+// with every worker parked at a barrier.
+//
+// This rule enforces the contract structurally: inside any method whose
+// receiver struct declares a `sim` field (the shard shape), assignments
+// and ++/-- whose target is reached through that field — directly
+// (sh.sim.cycle = n) or via a local alias (s := sh.sim; s.cycle++) —
+// are flagged unless the function carries a // damqvet:sharded waiver
+// recording the audit that its writes are barrier-owned.
+
+// checkShardWrites runs the sharded-determinism rule over one file.
+func (c *Checker) checkShardWrites(p *Package, ann fileAnnots, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		recv := shardReceiver(p.Info, fd)
+		if recv == nil || isShardedFunc(ann, c.Fset, fd) {
+			continue
+		}
+		aliases := map[types.Object]bool{}
+		collectSimAliases(p.Info, recv, fd.Body, aliases)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if isSimWrite(p.Info, recv, aliases, lhs) {
+						c.report(lhs.Pos(), ruleDeterminism,
+							"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
+					}
+				}
+			case *ast.IncDecStmt:
+				if isSimWrite(p.Info, recv, aliases, x.X) {
+					c.report(x.Pos(), ruleDeterminism,
+						"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// shardReceiver returns the receiver object of a shard method: a method
+// on a (pointer to a) struct that declares a field named `sim`. Nil for
+// anything else.
+func shardReceiver(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	obj := info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "sim" {
+			return obj
+		}
+	}
+	return nil
+}
+
+// selectsSimOfRecv reports whether e reaches through `recv.sim`: some
+// selector in its chain is the `sim` field applied directly to the
+// receiver identifier.
+func selectsSimOfRecv(info *types.Info, recv types.Object, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "sim" {
+				base := x.X
+				for {
+					if pe, ok := base.(*ast.ParenExpr); ok {
+						base = pe.X
+						continue
+					}
+					break
+				}
+				if id, ok := base.(*ast.Ident); ok && objOf(info, id) == recv {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// collectSimAliases finds locals that reach coordinator state: assigned
+// from recv.sim or (one or more steps removed) from an existing alias.
+// Runs to a small fixpoint, like addDerivedLocals.
+func collectSimAliases(info *types.Info, recv types.Object, body *ast.BlockStmt, aliases map[types.Object]bool) {
+	for range 4 {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				rhs := as.Rhs[i]
+				reaches := selectsSimOfRecv(info, recv, rhs)
+				if !reaches {
+					if root := rootIdent(rhs); root != nil {
+						if ro := objOf(info, root); ro != nil && aliases[ro] {
+							reaches = true
+						}
+					}
+				}
+				if reaches {
+					if lo := objOf(info, lid); lo != nil && !aliases[lo] {
+						aliases[lo] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// isSimWrite reports whether an assignment target mutates coordinator
+// state: it selects through recv.sim, or roots at a sim alias. A bare
+// identifier is never a shared write (rebinding a local).
+func isSimWrite(info *types.Info, recv types.Object, aliases map[types.Object]bool, lhs ast.Expr) bool {
+	if _, ok := lhs.(*ast.Ident); ok {
+		return false
+	}
+	if selectsSimOfRecv(info, recv, lhs) {
+		return true
+	}
+	if root := rootIdent(lhs); root != nil {
+		if ro := objOf(info, root); ro != nil && aliases[ro] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Package shard seeds sharded-determinism violations — coordinator
+// writes from shard methods — next to the waived and genuinely
+// shard-local forms the rule must accept.
+package shard
+
+// sim is the coordinator: state shared by every shard, writable only in
+// the serial prologue/epilogue between phase barriers.
+type sim struct {
+	cycle   int64
+	backlog int64
+	shards  []*worker
+	totals  []int64
+}
+
+// worker is a shard: it holds a back-pointer to the coordinator, which
+// makes every method below subject to the sharded-determinism rule.
+type worker struct {
+	sim      *sim
+	id       int
+	inFlight int64
+}
+
+// stepLocal mutates only shard-owned state and reads coordinator state;
+// both are always legal between barriers.
+func (w *worker) stepLocal() int64 {
+	w.inFlight++
+	return w.sim.cycle + w.inFlight
+}
+
+// stepDirect writes the coordinator directly.
+func (w *worker) stepDirect() {
+	w.sim.cycle = w.sim.cycle + 1 // want "shard method writes coordinator state"
+	w.sim.backlog++               // want "shard method writes coordinator state"
+}
+
+// stepAliased writes the coordinator through a local alias; the rule
+// tracks the aliasing so the indirection does not hide the race.
+func (w *worker) stepAliased() {
+	s := w.sim
+	t := s.totals
+	s.backlog += w.inFlight // want "shard method writes coordinator state"
+	t[w.id]++               // want "shard method writes coordinator state"
+}
+
+// finishEpilogue runs with every worker parked at the final barrier; the
+// waiver records that audit.
+// damqvet:sharded the coordinator calls this serially after the last phase
+func (w *worker) finishEpilogue() {
+	w.sim.backlog += w.inFlight
+}
+
+// spawn bypasses internal/parallel; the plain goroutine rule still
+// applies to shard code.
+func (w *worker) spawn(ch chan int) {
+	go func() { ch <- w.id }() // want "bare go statement"
+}

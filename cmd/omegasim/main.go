@@ -9,9 +9,13 @@
 //	omegasim -exp figure3           # Figure 3 (latency vs throughput)
 //	omegasim -exp varlen            # variable-length extension
 //	omegasim -exp run -kind damq -load 0.6 -protocol blocking  # one run
+//	omegasim -exp run -inputs 1024 -workers 8                  # sharded 1024×1024
 //
 // -scale quick|full selects run length (full is what EXPERIMENTS.md
-// records; quick is a fast smoke version).
+// records; quick is a fast smoke version). -workers parallelizes: for
+// sweeps it fans points out across cores; for -exp run it shards the
+// single network's stages across cores, stepping them in lock-step
+// phases — either way the results are byte-identical at any count.
 //
 // With -exp run, -metrics <file> attaches an observer and writes its
 // JSON snapshot (per-stage occupancy, per-queue depth, discard/block
@@ -42,17 +46,24 @@ func main() {
 	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
 	kind := flag.String("kind", "damq", "run: buffer kind")
 	load := flag.Float64("load", 0.5, "run: offered load")
+	inputs := flag.Int("inputs", 0, "run: network size (ports per side, power of the radix; 0 = the paper's 64)")
 	capacity := flag.Int("capacity", 4, "run: slots per input buffer")
 	protocol := flag.String("protocol", "blocking", "run: blocking|discarding")
 	policy := flag.String("policy", "smart", "run: smart|dumb arbitration")
 	hot := flag.Float64("hot", 0, "run: hot-spot fraction (0 = uniform)")
 	seed := flag.Uint64("seed", 1988, "run: PRNG seed")
-	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	workers := flag.Int("workers", 0, "parallelism: concurrent simulations for sweeps, shard workers stepping the one network for -exp run (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	metricsPath := flag.String("metrics", "", "run: attach an observer and write its JSON snapshot to this path")
 	metricsInterval := flag.Int64("metrics-interval", 0, "run: record a cumulative time-series point every N cycles in the -metrics snapshot (0 = off)")
 	checkMetrics := flag.String("check-metrics", "", "validate a -metrics JSON file and exit (CI smoke check)")
 	faultsSpec := flag.String("faults", "", `run/faults: fault spec, e.g. "linktransient=1e-3,slotstuck=1e-5,seed=7" (see damq.ParseFaultSpec)`)
 	flag.Parse()
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
 
 	if *checkMetrics != "" {
 		raw, err := os.ReadFile(*checkMetrics)
@@ -163,13 +174,13 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderFaultCurve(rows))
 	case "run":
-		runOne(ctx, *kind, *load, *capacity, *protocol, *policy, *hot, sc, *metricsPath, *metricsInterval, *faultsSpec)
+		runOne(ctx, *kind, *load, *inputs, *capacity, *protocol, *policy, *hot, sc, workersSet, *metricsPath, *metricsInterval, *faultsSpec)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 }
 
-func runOne(ctx context.Context, kindName string, load float64, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, metricsPath string, metricsInterval int64, faultsSpec string) {
+func runOne(ctx context.Context, kindName string, load float64, inputs, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, workersSet bool, metricsPath string, metricsInterval int64, faultsSpec string) {
 	kind, err := damq.ParseBufferKind(kindName)
 	orDie(err)
 	pol, err := damq.ParseArbitrationPolicy(policyName)
@@ -181,6 +192,11 @@ func runOne(ctx context.Context, kindName string, load float64, capacity int, pr
 		spec = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: load, HotFraction: hot}
 	}
 	var opts []damq.Option
+	if workersSet {
+		// For a single run the workers knob means intra-run sharding: the
+		// one network is stepped across cores, byte-identically.
+		opts = append(opts, damq.WithWorkers(sc.Workers))
+	}
 	var observer *damq.Observer
 	if metricsPath != "" {
 		observer = damq.NewObserver()
@@ -194,6 +210,7 @@ func runOne(ctx context.Context, kindName string, load float64, capacity int, pr
 		opts = append(opts, damq.WithFaults(faults))
 	}
 	res, err := damq.RunNetworkCtx(ctx, damq.NetworkConfig{
+		Inputs:        inputs,
 		BufferKind:    kind,
 		Capacity:      capacity,
 		Policy:        pol,

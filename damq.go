@@ -69,6 +69,9 @@ var (
 	ErrBadFaultRate = cfgerr.ErrBadFaultRate
 	// ErrBadRetryLimit reports a negative retransmit limit or backoff.
 	ErrBadRetryLimit = cfgerr.ErrBadRetryLimit
+	// ErrBadWorkers reports an intra-run worker count the network cannot
+	// shard to (more workers than switches per stage).
+	ErrBadWorkers = cfgerr.ErrBadWorkers
 )
 
 // BufferKind identifies one of the four buffer organizations.
@@ -306,11 +309,21 @@ type NetworkSim = netsim.Sim
 // NewNetwork builds an Omega-network simulation. WithSeed overrides
 // cfg.Seed; WithObserver attaches per-cycle probes (per-stage occupancy,
 // per-queue depth, discard/block causes, latency histograms) whose
-// presence does not change the simulated results.
+// presence does not change the simulated results. WithWorkers shards
+// this one run's stepping across cores (see NetworkConfig.Workers);
+// results are byte-identical at any worker count, and a sharded Sim
+// should be Closed when abandoned to release its worker goroutines.
 func NewNetwork(cfg NetworkConfig, opts ...Option) (*NetworkSim, error) {
 	op := applyOptions(opts)
 	if op.seedSet {
 		cfg.Seed = op.seed
+	}
+	if op.workersSet {
+		if op.workers <= 0 {
+			cfg.Workers = -1 // option semantics: 0 = GOMAXPROCS
+		} else {
+			cfg.Workers = op.workers
+		}
 	}
 	sim, err := netsim.New(cfg)
 	if err != nil {
@@ -334,6 +347,7 @@ func RunNetwork(cfg NetworkConfig, opts ...Option) (*NetworkResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	return sim.Run(), nil
 }
 
@@ -347,6 +361,7 @@ func RunNetworkCtx(ctx context.Context, cfg NetworkConfig, opts ...Option) (*Net
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	return sim.RunCtx(ctx)
 }
 

@@ -187,13 +187,116 @@ func (a *Arbiter) Reset() {
 // Arbitrate computes this cycle's crossbar matching. It appends grants to
 // dst (pass nil to allocate) and returns the result; the order of grants
 // follows the examination order, which tests rely on.
+//
+// The 2×2 single-read-port case — the building block of binary multistage
+// networks — dispatches to a branchless fast path that computes the whole
+// matching as boolean expressions; every other shape (or an arbiter with
+// counters attached, which must count candidate rejections the boolean
+// form never enumerates) takes the general scan. Both produce identical
+// grants, priority movement, and stale counts; TestArbitrate2x2Equivalence
+// pins that against the general path run on the same state.
 // damqvet:hotpath
 func (a *Arbiter) Arbitrate(v View, dst []Grant) []Grant {
 	in, out := v.Ports()
 	if in != a.inputs || out != a.outputs {
 		panic(fmt.Sprintf("arbiter: view is %dx%d, arbiter is %dx%d", in, out, a.inputs, a.outputs))
 	}
+	if in == 2 && out == 2 &&
+		a.mGrants == nil && a.mConflicts == nil && a.mBlocked == nil &&
+		v.MaxReads(0) == 1 && v.MaxReads(1) == 1 {
+		return a.arbitrate2x2(v, dst)
+	}
+	return a.arbitrateGeneral(v, dst)
+}
 
+// arbitrate2x2 is the fast path for a 2×2 switch whose buffers expose one
+// read port: forwarding eligibility, conflict resolution, and priority
+// movement reduce to pure boolean expressions over the four queue states,
+// with no per-candidate loops — the style of hardware arbitration logic,
+// one gate level per term. Row i0 (the priority holder) picks first; row
+// i1 then sees i0's winning output as taken.
+// damqvet:hotpath
+func (a *Arbiter) arbitrate2x2(v View, dst []Grant) []Grant {
+	i0 := a.prio
+	i1 := i0 ^ 1
+	len0 := v.InputLen(i0) > 0
+	len1 := v.InputLen(i1) > 0
+
+	var g0, g1, g0hi bool // row grants; g0hi = row i0 took output 1
+	if len0 {
+		p0, p1 := a.pick2(v, i0, false, false)
+		g0 = p0 || p1
+		g0hi = p1
+		if g0 {
+			dst = append(dst, Grant{In: i0, Out: b2i(p1)})
+		}
+	}
+	if len1 {
+		p0, p1 := a.pick2(v, i1, g0 && !g0hi, g0 && g0hi)
+		g1 = p0 || p1
+		if g1 {
+			dst = append(dst, Grant{In: i1, Out: b2i(p1)})
+		}
+	}
+
+	// Priority as one boolean term. Smart keeps the pointer on i0 when the
+	// holder had traffic but sent nothing (blocked turns are not counted),
+	// and lands on i0 after a round where only i1 transmitted (rotate past
+	// the first server); every other case — any dumb round, a holder
+	// grant, a completely idle round — moves it to i1.
+	if a.policy == Smart && !g0 && (len0 || g1) {
+		a.prio = i0
+	} else {
+		a.prio = i1
+	}
+	return dst
+}
+
+// pick2 computes one 2×2 row's winning output as boolean logic: e_o is
+// the forward-eligibility of queue o (has traffic, output free, head not
+// blocked downstream), beats is the policy's preference for output 1 over
+// output 0 (stalest first under smart, then longest queue, ties to the
+// lower output), and the one-hot pick follows. Stale counts transition
+// exactly as the general row epilogue: waiting queues age, transmitting
+// or empty queues reset.
+// damqvet:hotpath
+func (a *Arbiter) pick2(v View, i int, t0, t1 bool) (p0, p1 bool) {
+	s := a.stale[i]
+	q0 := v.QueueLen(i, 0)
+	q1 := v.QueueLen(i, 1)
+	e0 := !t0 && q0 > 0 && !v.Blocked(i, 0)
+	e1 := !t1 && q1 > 0 && !v.Blocked(i, 1)
+	smart := a.policy == Smart
+	beats := (smart && s[1] > s[0]) || ((!smart || s[1] == s[0]) && q1 > q0)
+	p1 = e1 && (!e0 || beats)
+	p0 = e0 && !p1
+	s[0] = staleNext(s[0], q0 > 0 && !p0)
+	s[1] = staleNext(s[1], q1 > 0 && !p1)
+	return p0, p1
+}
+
+// staleNext is the per-queue stale transition function.
+// damqvet:hotpath
+func staleNext(old int64, waiting bool) int64 {
+	if waiting {
+		return old + 1
+	}
+	return 0
+}
+
+// b2i maps a one-hot output-1 pick to its output index.
+// damqvet:hotpath
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// arbitrateGeneral is the reference matching algorithm for every port
+// count, read-port limit, and observed arbiter.
+// damqvet:hotpath
+func (a *Arbiter) arbitrateGeneral(v View, dst []Grant) []Grant {
 	outTaken := a.outTaken
 	granted := a.granted // whether the buffer transmitted at all
 	for i := range outTaken {

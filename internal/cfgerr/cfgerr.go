@@ -32,4 +32,7 @@ var (
 	// ErrBadRetryLimit reports a negative retransmit retry limit or
 	// backoff in a fault config.
 	ErrBadRetryLimit = errors.New("invalid retry limit")
+	// ErrBadWorkers reports an intra-run worker count the network cannot
+	// shard to (more workers than switches per stage).
+	ErrBadWorkers = errors.New("invalid worker count")
 )

@@ -83,12 +83,14 @@ func TestActiveSetMatchesFullScan(t *testing.T) {
 				t.Errorf("SourceBacklogLen: active-set %d, full-scan %d",
 					fast.SourceBacklogLen(), ref.SourceBacklogLen())
 			}
-			// The active lists must agree with actual switch occupancy at
-			// the end of the run.
+			// The active lists (unioned across shards) must agree with
+			// actual switch occupancy at the end of the run.
 			for st := range fast.stages {
 				listed := make(map[int]bool)
-				for _, si := range fast.active[st] {
-					listed[int(si)] = true
+				for _, sh := range fast.shards {
+					for _, si := range sh.active[st] {
+						listed[int(si)] = true
+					}
 				}
 				for si, swc := range fast.stages[st] {
 					if swc.Empty() == listed[si] {
@@ -116,14 +118,19 @@ func TestActiveSetSortedInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sim.NewResult()
 	for i := 0; i < 800; i++ {
-		sim.Step(res, true)
-		for st := range sim.active {
-			for j := 1; j < len(sim.active[st]); j++ {
-				if sim.active[st][j-1] >= sim.active[st][j] {
-					t.Fatalf("cycle %d stage %d: active list not strictly sorted: %v",
-						i, st, sim.active[st])
+		sim.Step(true)
+		for _, sh := range sim.shards {
+			for st := range sh.active {
+				for j, si := range sh.active[st] {
+					if int(si) < sh.lo || int(si) >= sh.hi {
+						t.Fatalf("cycle %d shard %d stage %d: switch %d outside [%d,%d)",
+							i, sh.id, st, si, sh.lo, sh.hi)
+					}
+					if j > 0 && sh.active[st][j-1] >= si {
+						t.Fatalf("cycle %d shard %d stage %d: active list not strictly sorted: %v",
+							i, sh.id, st, sh.active[st])
+					}
 				}
 			}
 		}

@@ -45,15 +45,14 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res := &Result{Config: sim.cfg}
-			// Reach steady state with measurement on, so the lazily
-			// allocated histogram and per-stage summaries exist and all
-			// scratch has grown to its high-water mark.
+			// Reach steady state with measurement on, so all scratch —
+			// outboxes, pending-grant lists, free lists — has grown to its
+			// high-water mark.
 			for i := 0; i < 2000; i++ {
-				sim.Step(res, true)
+				sim.Step(true)
 			}
 			avg := testing.AllocsPerRun(500, func() {
-				sim.Step(res, true)
+				sim.Step(true)
 			})
 			const limit = 0.05
 			if avg > limit {

@@ -35,7 +35,6 @@ type netFaults struct {
 	linkDown  bool // any link fault rate non-zero
 	events    []slotEvent
 	next      int
-	faulted   int64 // packets dropped on faulted links since SetFaults
 	quarSlots int64 // slots scheduled out of service
 	m         *netFaultMetrics
 }
@@ -166,21 +165,24 @@ func (s *Sim) applyDueSlotFaults() {
 }
 
 // dropOnFaultedLink reports whether the link leaving (stage, switch, out)
-// is down this cycle, counting the drop if so. The packet itself is
-// recycled by the caller; it is accounted as faulted-discard, never
-// silently lost.
+// is down this cycle, counting the drop if so. The link decision is a
+// pure function of (seed, site, cycle) — fault.Injector holds no mutable
+// state — so concurrent shards may query it; the drop counters are
+// shard-local (the fault metrics counter only exists with an observer
+// attached, which forces serial stepping).
 // damqvet:hotpath
-func (s *Sim) dropOnFaultedLink(st, si, out int, res *Result, measuring bool) bool {
+func (sh *shard) dropOnFaultedLink(st, si, out int, measuring bool) bool {
+	s := sh.sim
 	f := s.flt
 	if !f.linkDown || !f.inj.LinkDown(fault.NetLinkSite(st, si, out), s.cycle) {
 		return false
 	}
-	f.faulted++
+	sh.faulted++
 	if f.m != nil {
 		f.m.linkDrops.Inc()
 	}
 	if measuring {
-		res.FaultedInNet++
+		sh.partial.FaultedInNet++
 	}
 	return true
 }
@@ -192,7 +194,11 @@ func (s *Sim) Faulted() int64 {
 	if s.flt == nil {
 		return 0
 	}
-	return s.flt.faulted
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.faulted
+	}
+	return n
 }
 
 // QuarantinedSlots reports how many buffer slots the fault schedule has

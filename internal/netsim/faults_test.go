@@ -58,12 +58,11 @@ func TestChaosSoakConservation(t *testing.T) {
 					if err := s.SetFaults(fc); err != nil {
 						t.Fatal(err)
 					}
-					res := s.NewResult()
 					// No warmup: every cycle is measured, so the Result
 					// counters see the whole history and conservation is
 					// exact.
 					for i := 0; i < cycles; i++ {
-						s.Step(res, true)
+						s.Step(true)
 						if i%500 == 499 {
 							if err := s.CheckBuffers(); err != nil {
 								t.Fatalf("cycle %d: %v", i, err)
@@ -73,6 +72,7 @@ func TestChaosSoakConservation(t *testing.T) {
 					if err := s.CheckBuffers(); err != nil {
 						t.Fatalf("final: %v", err)
 					}
+					res := s.Collect()
 					got := res.Delivered + res.DiscardedInNet + res.FaultedInNet + s.InFlight()
 					if res.Injected != got {
 						t.Fatalf("conservation broken: injected %d != delivered %d + discarded %d + faulted %d + inflight %d",
@@ -212,9 +212,8 @@ func TestFaultSeedZeroDerivedFromSimSeed(t *testing.T) {
 		if err := s.SetFaults(fc); err != nil {
 			t.Fatal(err)
 		}
-		res := s.NewResult()
 		for i := 0; i < 3000; i++ {
-			s.Step(res, true)
+			s.Step(true)
 		}
 		return s.Faulted()
 	}
@@ -234,8 +233,7 @@ func TestSetFaultsAfterStepRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := s.NewResult()
-	s.Step(res, false)
+	s.Step(false)
 	if err := s.SetFaults(chaosFaults); err == nil {
 		t.Fatal("SetFaults accepted after stepping")
 	}
@@ -267,10 +265,10 @@ func TestStaticBuffersSkipSlotFaults(t *testing.T) {
 		if err := s.SetFaults(fc); err != nil {
 			t.Fatal(err)
 		}
-		res := s.NewResult()
 		for i := 0; i < 2000; i++ {
-			s.Step(res, true)
+			s.Step(true)
 		}
+		res := s.Collect()
 		if s.QuarantinedSlots() != 0 {
 			t.Fatalf("%v: quarantined %d slots on a pool-less organization", kind, s.QuarantinedSlots())
 		}

@@ -5,21 +5,32 @@
 // (12 in the paper: 8 to transmit + 4 to route); processors are message
 // generators, memories are message receivers.
 //
-// One network cycle:
+// One network cycle (three barrier-separated phases; DESIGN.md §11):
 //
-//  1. Every switch arbitrates its crossbar against the pre-movement
-//     state. Under the blocking protocol a queue whose head cannot be
-//     stored downstream is masked from arbitration (the paper's "longest
-//     queue ... which was not blocked").
-//  2. All granted packets are popped, then delivered: last-stage packets
-//     exit to their memory module; others enter the next stage's input
-//     buffer. Pops happen before accepts, so a slot freed this cycle can
-//     hold a packet arriving this cycle. Under the discarding protocol a
-//     packet that finds its downstream buffer full is dropped.
-//  3. Sources inject: newly generated packets (plus, under blocking, the
-//     backlog waiting in unbounded source queues) enter first-stage
-//     buffers; under discarding a generated packet that does not fit is
-//     dropped at entry.
+//  1. Arbitrate: every switch arbitrates its crossbar against the
+//     pre-movement state. Under the blocking protocol a queue whose head
+//     cannot be stored downstream is masked from arbitration (the paper's
+//     "longest queue ... which was not blocked"). Grants are recorded but
+//     nothing is popped, so every arbitration decision — including the
+//     downstream-admission probes — reads one consistent snapshot.
+//  2. Move: all granted packets are popped, then delivered: last-stage
+//     packets exit to their memory module; others are routed toward the
+//     next stage's input buffer. Pops happen before accepts, so a slot
+//     freed this cycle can hold a packet arriving this cycle.
+//  3. Inject: routed packets enter next-stage buffers (under the
+//     discarding protocol a packet that finds its buffer full is
+//     dropped), then sources inject: newly generated packets (plus,
+//     under blocking, the backlog waiting in unbounded source queues)
+//     enter first-stage buffers; under discarding a generated packet
+//     that does not fit is dropped at entry.
+//
+// The network is partitioned into shards — contiguous switch ranges
+// applied to every stage, plus the sources and deliveries wired to them.
+// Each shard owns its switches' buffers, arbiters, active sets, RNG
+// streams, and measurement partials; cross-shard traffic moves through
+// per-(writer, reader) outboxes handed over at the phase barriers. The
+// shard count is a pure function of the topology, so results are
+// byte-identical at any worker count (Config.Workers), including 1.
 //
 // Latency accounting (DESIGN.md §4): a packet is born at clock
 // cycle*C + u with u uniform in [0, C); it is delivered at the end of the
@@ -39,6 +50,7 @@ import (
 	"damq/internal/cfgerr"
 	"damq/internal/omega"
 	"damq/internal/packet"
+	"damq/internal/parallel"
 	"damq/internal/pktq"
 	"damq/internal/rng"
 	"damq/internal/stats"
@@ -91,14 +103,22 @@ type Config struct {
 	WarmupCycles   int64
 	MeasureCycles  int64
 	Seed           uint64
+	// Workers shards this one run's per-cycle work across goroutines:
+	// 0 or 1 means serial, n > 1 uses up to n workers (silently clamped
+	// to the shard count), and a negative value means GOMAXPROCS. The
+	// shard partition is a pure function of the topology, so results are
+	// byte-identical at every worker count; Validate rejects counts above
+	// SwitchesPerStage (cfgerr.ErrBadWorkers). Collected Results report
+	// this field as 0 — it is an execution knob, not a model parameter.
+	Workers int
 }
 
 // Validate checks the config (after default-filling, so a zero Config is
 // valid) under the repo-wide sentinel-error convention: every failure
 // wraps one of the internal/cfgerr sentinels (ErrBadRadix, ErrBadKind,
 // ErrBadCapacity, ErrBadPolicy, ErrBadProtocol, ErrBadLoad,
-// ErrBadTraffic) so callers classify with errors.Is. New calls it first;
-// CLIs may call it directly for early flag feedback.
+// ErrBadTraffic, ErrBadWorkers) so callers classify with errors.Is. New
+// calls it first; CLIs may call it directly for early flag feedback.
 func (c Config) Validate() error {
 	c = c.withDefaults()
 	if _, err := omega.New(c.Radix, c.Inputs); err != nil {
@@ -116,6 +136,10 @@ func (c Config) Validate() error {
 	}
 	if c.Traffic.Load < 0 || c.Traffic.Load > 1 {
 		return fmt.Errorf("netsim: load %v out of [0,1]: %w", c.Traffic.Load, cfgerr.ErrBadLoad)
+	}
+	if spp := c.Inputs / c.Radix; c.Workers > spp {
+		return fmt.Errorf("netsim: %d workers exceed the %d switches per stage a %d-input radix-%d run can shard to: %w",
+			c.Workers, spp, c.Inputs, c.Radix, cfgerr.ErrBadWorkers)
 	}
 	// Exercise the real traffic constructor so pattern-specific rules
 	// (hot fraction range, permutation shape, burst length) cannot drift
@@ -249,57 +273,71 @@ func (r *Result) FaultFraction() float64 {
 	return float64(r.FaultedInNet) / float64(r.Generated)
 }
 
+// maxShards caps the shard count: shards are the unit of both parallelism
+// and RNG-stream partitioning, so the count must stay a pure function of
+// the topology (never of the machine) for results to be byte-identical
+// everywhere. 16 covers every worker count Validate can accept on the
+// paper-sized networks and keeps per-shard bookkeeping negligible.
+const maxShards = 16
+
+// shardCount returns the fixed shard count for a topology with spp
+// switches per stage.
+func shardCount(spp int) int {
+	if spp < maxShards {
+		return spp
+	}
+	return maxShards
+}
+
+// Gang phase numbers (the argument Step hands to parallel.Gang.Run).
+const (
+	phaseArbitrate = iota
+	phaseMove
+	phaseInject
+)
+
 // Sim is one instantiated network.
 type Sim struct {
-	cfg     Config
-	top     *omega.Topology
-	stages  [][]*sw.Switch
-	srcQ    []pktq.Queue // blocking backlog per network input
-	pattern traffic.Pattern
-	lengths traffic.Lengths
-	alloc   packet.Alloc
-	phase   *rng.Source // birth-phase offsets
-	cycle   int64
+	cfg    Config
+	top    *omega.Topology
+	stages [][]*sw.Switch
+	srcQ   []pktq.Queue // blocking backlog per network input; shard-partitioned
+	cycle  int64
 	// warmupBoundary is the cycle measurement began; packets born earlier
 	// are excluded from latency statistics.
 	warmupBoundary int64
-	// inFlight tracks buffered packets for conservation checks.
-	inFlight int64
-	// srcBacklog mirrors the total length of the source queues so the
-	// per-cycle backlog snapshot is a counter read, not a 1-per-input scan.
-	srcBacklog int64
+	// measured counts measuring Steps; Collect reports it as the result's
+	// MeasureCycles so partial (cancelled) runs describe themselves.
+	measured int64
+	// measuring is the current Step's measurement flag, published to the
+	// gang workers before the first phase barrier of the cycle.
+	measuring bool
 
-	// Active-set tracking (DESIGN.md "Performance model"): active[st] is
-	// the sorted list of switch indices in stage st holding at least one
-	// buffered packet. Step arbitrates only those, so the per-cycle cost is
-	// proportional to traffic rather than network size. A switch leaves the
-	// set when its last packet is popped (phase 1) and re-enters when a
-	// packet lands in it (phases 2-3); on re-entry its arbiter is
-	// fast-forwarded through the empty rounds it sat out (AdvanceIdle), so
-	// results are bit-identical to arbitrating every switch every cycle.
-	active [][]int32
-	// lastArb[st][si] is the cycle the switch last ran (or was fast-
-	// forwarded through) arbitration; -1 before its first packet.
-	lastArb [][]int64
+	// shards partition every stage's switches into contiguous ranges; all
+	// mutable per-cycle state lives in them. shardOfSw maps a switch index
+	// to its owner.
+	shards    []*shard
+	shardOfSw []int32
+	// workers is the effective intra-run worker count; gang is the
+	// lockstep crew driving the shards when workers > 1 (nil otherwise,
+	// and ignored while an observer is attached — see Step).
+	workers int
+	gang    *parallel.Gang
+
+	// backlog holds the coordinator-sampled global source-backlog summary
+	// (it needs all shards' counters, so it cannot live in a partial).
+	backlog stats.Summary
+
 	// fullScan forces the naive every-switch arbitration path; the
 	// active-set equivalence property test runs it as the reference model.
 	fullScan bool
 
-	// probes holds one blocking probe per (stage, switch), built once at
-	// construction: creating the closures inside Step would allocate
-	// stages*switches closures per cycle.
-	probes [][]sw.BlockProbe
-	// probePkt is scratch for the blocking probe's routed copy of a head
-	// packet; reusing one Sim-owned packet keeps the probe allocation-free.
-	probePkt packet.Packet
-
-	grantScratch []arbiter.Grant
-	moveScratch  []move
-
 	// metrics is the attached observability probe set (SetObserver); nil
 	// means unobserved. Every hot-path use is nil-guarded, so detached
 	// runs execute no instrument code and stay bit-identical — the
-	// pattern damqvet's zeroalloc rule polices.
+	// pattern damqvet's zeroalloc rule polices. An observed Sim always
+	// steps its shards serially (the instruments are shared), which by
+	// the sharding contract changes nothing.
 	metrics *netMetrics
 
 	// flt is the attached fault-injection state (SetFaults); nil means
@@ -308,11 +346,83 @@ type Sim struct {
 	flt *netFaults
 }
 
-type move struct {
-	p     *packet.Packet
-	stage int
-	swIdx int
-	out   int
+// shard owns a contiguous range [lo, hi) of every stage's switches, the
+// sources wired into its stage-0 range, and the deliveries leaving its
+// last-stage range. All its mutable state — buffers (via the switches),
+// active sets, RNG streams, measurement partials — is written only by its
+// owner; everything a shard reads of its peers (downstream buffers during
+// arbitration, outboxes during injection) is frozen by the phase barriers.
+// damqvet's sharded rule enforces the ownership discipline at the source
+// level.
+type shard struct {
+	sim    *Sim
+	id     int
+	lo, hi int // switch range [lo, hi) in every stage
+
+	// srcs lists the network inputs feeding stage-0 switches [lo, hi),
+	// ascending — the shuffle wiring strides them across the shards.
+	srcs []int32
+
+	// Per-shard RNG-backed generators, split from the master seed in
+	// shard order so the streams are a pure function of (seed, shard).
+	pattern traffic.Pattern
+	lengths traffic.Lengths
+	phase   *rng.Source // birth-phase offsets for this shard's deliveries
+	alloc   packet.Alloc
+
+	// partial accumulates this shard's measurement slice; Collect merges
+	// the partials in shard order. Its Config field stays zero.
+	partial Result
+	// inFlight/srcBacklog/faulted are this shard's slices of the global
+	// conservation counters. inFlight can go locally negative (a packet
+	// injected here may be delivered by another shard); only the sum is
+	// meaningful.
+	inFlight   int64
+	srcBacklog int64
+	faulted    int64
+
+	// Active-set tracking (DESIGN.md "Performance model"): active[st] is
+	// the sorted list of this shard's switch indices in stage st holding
+	// at least one buffered packet. The arbitrate phase visits only
+	// those; a switch leaves the set when its last packet is popped
+	// (move phase) and re-enters when a packet lands in it (inject
+	// phase); on re-entry its arbiter is fast-forwarded through the empty
+	// rounds it sat out (AdvanceIdle), so results are bit-identical to
+	// arbitrating every switch every cycle.
+	active [][]int32
+	// lastArb[st][si-lo] is the cycle the switch last ran (or was fast-
+	// forwarded through) arbitration; -1 before its first packet.
+	lastArb [][]int64
+
+	// probes holds one blocking probe per (stage, owned switch), built at
+	// construction: creating the closures inside the step would allocate.
+	probes [][]sw.BlockProbe
+	// probePkt is scratch for the blocking probe's routed copy of a head
+	// packet; one per shard so concurrent probes never share it.
+	probePkt packet.Packet
+
+	grantScratch []arbiter.Grant
+	// pending records the arbitrate phase's grants; pops are deferred to
+	// the move phase so arbitration network-wide sees one pre-movement
+	// snapshot.
+	pending []pendingGrant
+	// outbox[d] carries this shard's routed transfers into shard d's
+	// switches; d drains it in the inject phase, after the barrier.
+	outbox [][]xfer
+}
+
+// pendingGrant is one recorded arbitration outcome: switch si of stage st
+// may pop grant g in the move phase.
+type pendingGrant struct {
+	st, si int32
+	g      arbiter.Grant
+}
+
+// xfer is one routed inter-stage transfer: packet p enters input port in
+// of switch si in stage st (OutPort already rewritten for that stage).
+type xfer struct {
+	p          *packet.Packet
+	st, si, in int32
 }
 
 // New validates cfg and builds the network.
@@ -326,24 +436,6 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{cfg: cfg, top: top}
-
-	master := rng.New(cfg.Seed)
-	trafficSrc := master.Split()
-	s.phase = master.Split()
-	lenSrc := master.Split()
-
-	s.pattern, err = cfg.buildPattern(trafficSrc)
-	if err != nil {
-		return nil, err
-	}
-
-	if cfg.Traffic.MaxSlots > cfg.Traffic.MinSlots {
-		s.lengths = traffic.UniformLengths{Lo: cfg.Traffic.MinSlots, Hi: cfg.Traffic.MaxSlots, Src: lenSrc}
-	} else if cfg.Traffic.MinSlots > 1 {
-		s.lengths = traffic.Fixed(cfg.Traffic.MinSlots)
-	} else {
-		s.lengths = traffic.Fixed(1)
-	}
 
 	for st := 0; st < top.Stages(); st++ {
 		var row []*sw.Switch
@@ -363,29 +455,83 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.srcQ = make([]pktq.Queue, cfg.Inputs)
 
-	// Pre-build the blocking probes and pre-size the per-cycle scratch:
-	// at most one grant per buffer read port per switch, and every grant
-	// produces one move.
-	s.probes = make([][]sw.BlockProbe, top.Stages())
-	maxMoves := 0
-	for st := range s.stages {
-		s.probes[st] = make([]sw.BlockProbe, len(s.stages[st]))
-		for si := range s.stages[st] {
-			s.probes[st][si] = s.blockProbe(st, si)
-			maxMoves += cfg.Radix
+	spp := top.SwitchesPerStage()
+	nShards := shardCount(spp)
+	s.shardOfSw = make([]int32, spp)
+	// One master stream; each shard splits three private streams from it
+	// in shard order, so the partition of randomness is a pure function
+	// of (seed, shard) and never of the worker count.
+	master := rng.New(cfg.Seed)
+	for k := 0; k < nShards; k++ {
+		sh := &shard{
+			sim: s,
+			id:  k,
+			lo:  k * spp / nShards,
+			hi:  (k + 1) * spp / nShards,
 		}
-	}
-	s.grantScratch = make([]arbiter.Grant, 0, cfg.Radix)
-	s.moveScratch = make([]move, 0, maxMoves)
+		trafficSrc := master.Split()
+		sh.phase = master.Split()
+		lenSrc := master.Split()
+		sh.pattern, err = cfg.buildPattern(trafficSrc)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Traffic.MaxSlots > cfg.Traffic.MinSlots {
+			sh.lengths = traffic.UniformLengths{Lo: cfg.Traffic.MinSlots, Hi: cfg.Traffic.MaxSlots, Src: lenSrc}
+		} else if cfg.Traffic.MinSlots > 1 {
+			sh.lengths = traffic.Fixed(cfg.Traffic.MinSlots)
+		} else {
+			sh.lengths = traffic.Fixed(1)
+		}
+		sh.alloc.SetIDStream(uint64(k), uint64(nShards))
 
-	s.active = make([][]int32, top.Stages())
-	s.lastArb = make([][]int64, top.Stages())
-	for st := range s.stages {
-		s.active[st] = make([]int32, 0, len(s.stages[st]))
-		s.lastArb[st] = make([]int64, len(s.stages[st]))
-		for si := range s.lastArb[st] {
-			s.lastArb[st][si] = -1
+		own := sh.hi - sh.lo
+		for si := sh.lo; si < sh.hi; si++ {
+			s.shardOfSw[si] = int32(k)
 		}
+		sh.partial.LatencyHist = stats.NewHistogram(4096, float64(cfg.ClocksPerCycle))
+		sh.partial.StageOccupancy = make([]stats.Summary, top.Stages())
+		sh.active = make([][]int32, top.Stages())
+		sh.lastArb = make([][]int64, top.Stages())
+		sh.probes = make([][]sw.BlockProbe, top.Stages())
+		for st := 0; st < top.Stages(); st++ {
+			sh.active[st] = make([]int32, 0, own)
+			sh.lastArb[st] = make([]int64, own)
+			for i := range sh.lastArb[st] {
+				sh.lastArb[st][i] = -1
+			}
+			sh.probes[st] = make([]sw.BlockProbe, own)
+			for si := sh.lo; si < sh.hi; si++ {
+				sh.probes[st][si-sh.lo] = sh.blockProbe(st, si)
+			}
+		}
+		sh.grantScratch = make([]arbiter.Grant, 0, cfg.Radix)
+		sh.pending = make([]pendingGrant, 0, own*top.Stages()*cfg.Radix)
+		sh.outbox = make([][]xfer, nShards)
+		for d := range sh.outbox {
+			sh.outbox[d] = make([]xfer, 0, own*cfg.Radix/nShards+cfg.Radix)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	for src := 0; src < cfg.Inputs; src++ {
+		swIdx, _ := top.FirstStageSwitch(src)
+		sh := s.shards[s.shardOfSw[swIdx]]
+		sh.srcs = append(sh.srcs, int32(src))
+	}
+
+	w := cfg.Workers
+	if w < 0 {
+		w = parallel.Workers(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > nShards {
+		w = nShards
+	}
+	s.workers = w
+	if w > 1 {
+		s.gang = parallel.NewGang(w, s.runPhase)
 	}
 	return s, nil
 }
@@ -396,47 +542,78 @@ func (s *Sim) Topology() *omega.Topology { return s.top }
 // Cycle returns the current network cycle.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
+// Workers returns the effective intra-run worker count (after clamping).
+func (s *Sim) Workers() int { return s.workers }
+
 // InFlight returns the number of packets buffered in switches.
-func (s *Sim) InFlight() int64 { return s.inFlight }
+func (s *Sim) InFlight() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.inFlight
+	}
+	return n
+}
 
 // SourceBacklogLen returns the total packets waiting in source queues.
-func (s *Sim) SourceBacklogLen() int64 { return s.srcBacklog }
+func (s *Sim) SourceBacklogLen() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.srcBacklog
+	}
+	return n
+}
 
-// noteAccept records that a packet entered switch si of stage st. On the
-// 0→1 occupancy transition the switch re-enters the active set: its
-// arbiter is fast-forwarded through every empty round it was skipped for,
-// and it is re-inserted into the stage's sorted index list.
+// Close releases the worker goroutines of a sharded Sim (no-op when the
+// run is serial, idempotent always). A closed Sim keeps working — further
+// Steps fall back to the serial path, which computes identical results.
+// Run and RunCtx do not close the Sim; callers who construct a Sim with
+// Workers > 1 and abandon it without Close leak its worker goroutines.
+func (s *Sim) Close() {
+	if s.gang != nil {
+		s.gang.Close()
+		s.gang = nil
+	}
+}
+
+// noteAccept records that a packet entered switch si of stage st (owned
+// by this shard). On the 0→1 occupancy transition the switch re-enters
+// the active set: its arbiter is fast-forwarded through every empty round
+// it was skipped for, and it is re-inserted into the sorted index list.
 // damqvet:hotpath
-func (s *Sim) noteAccept(st, si int) {
+func (sh *shard) noteAccept(st, si int) {
+	s := sh.sim
 	swc := s.stages[st][si]
 	if swc.Len() != 1 || s.fullScan {
 		return
 	}
-	if skipped := s.cycle - s.lastArb[st][si]; skipped > 0 {
+	if skipped := s.cycle - sh.lastArb[st][si-sh.lo]; skipped > 0 {
 		swc.AdvanceIdle(skipped)
 	}
-	s.lastArb[st][si] = s.cycle
-	s.activate(st, si)
+	sh.lastArb[st][si-sh.lo] = s.cycle
+	sh.activate(st, si)
 }
 
 // activate inserts si into stage st's sorted active list. Insertion moves
 // at most the tail of the list; active sets are small by construction.
 // damqvet:hotpath
-func (s *Sim) activate(st, si int) {
-	lst := append(s.active[st], 0)
+func (sh *shard) activate(st, si int) {
+	lst := append(sh.active[st], 0)
 	i := len(lst) - 1
 	for i > 0 && lst[i-1] > int32(si) {
 		lst[i] = lst[i-1]
 		i--
 	}
 	lst[i] = int32(si)
-	s.active[st] = lst
+	sh.active[st] = lst
 }
 
 // blockProbe builds the blocking-protocol probe for stage st switch si:
 // the head packet for output out is blocked iff the downstream buffer it
-// would enter cannot store it right now.
-func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
+// would enter cannot store it right now. The downstream switch may belong
+// to any shard; the probe only reads it, and only in the arbitrate phase,
+// when no buffer changes anywhere.
+func (sh *shard) blockProbe(st, si int) sw.BlockProbe {
+	s := sh.sim
 	if s.cfg.Protocol != sw.Blocking || st == s.top.Stages()-1 {
 		// Last stage feeds memories, which always accept.
 		return nil
@@ -444,130 +621,285 @@ func (s *Sim) blockProbe(st, si int) sw.BlockProbe {
 	return func(out int, p *packet.Packet) bool {
 		nsw, nport := s.top.NextStage(si, out)
 		// Probe with a routed copy so p itself is not mutated; the copy
-		// lives in Sim-owned scratch to keep the probe allocation-free.
-		s.probePkt = *p
-		s.probePkt.OutPort = s.top.RouteDigit(p.Dest, st+1)
-		return !s.stages[st+1][nsw].CanAcceptAt(nport, &s.probePkt)
+		// lives in shard-owned scratch to keep the probe allocation-free
+		// and race-free across concurrent shards.
+		sh.probePkt = *p
+		sh.probePkt.OutPort = s.top.RouteDigit(p.Dest, st+1)
+		return !s.stages[st+1][nsw].CanAcceptAt(nport, &sh.probePkt)
 	}
 }
 
-// Step advances the network one cycle. res accumulates measurements when
-// measuring is true (the warmup loop passes false).
+// Step advances the network one cycle. Measurements accumulate in the
+// shard partials when measuring is true (the warmup loop passes false);
+// read them with Collect.
 // damqvet:hotpath
-func (s *Sim) Step(res *Result, measuring bool) {
-	nStages := s.top.Stages()
-
+func (s *Sim) Step(measuring bool) {
 	// Fault schedule, cycle start: slots whose failure time has arrived
 	// leave service before anything moves this cycle, so arbitration and
-	// flow control see the shrunken capacity consistently.
+	// flow control see the shrunken capacity consistently. Coordinator-
+	// serial: it precedes the first barrier.
 	if s.flt != nil && s.flt.next < len(s.flt.events) {
 		s.applyDueSlotFaults()
 	}
 
-	if measuring {
-		// Allocate the lazily created measurement structures once per run
-		// rather than testing for them on every delivery (use NewResult to
-		// avoid even this per-cycle branch).
-		if res.LatencyHist == nil {
-			res.LatencyHist = stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle))
+	s.measuring = measuring
+	if g := s.gang; g != nil && s.metrics == nil {
+		g.Run(phaseArbitrate)
+		g.Run(phaseMove)
+		g.Run(phaseInject)
+	} else {
+		// Serial path: same shards, same phase order, one goroutine. An
+		// observed Sim always takes it (shared instruments), and by the
+		// sharding contract produces byte-identical results.
+		for _, sh := range s.shards {
+			sh.phaseArbitrateRun()
 		}
-		if res.StageOccupancy == nil {
-			res.StageOccupancy = make([]stats.Summary, len(s.stages))
+		for _, sh := range s.shards {
+			sh.phaseMoveRun()
+		}
+		for _, sh := range s.shards {
+			sh.phaseInjectRun()
 		}
 	}
 
-	// Phase 1: arbitration against pre-movement state. Only switches
-	// holding packets can produce grants, so the active-set path visits
-	// exactly those, in the same (stage, switch) order as a full scan; a
-	// switch whose last packet is popped here leaves the set.
-	s.moveScratch = s.moveScratch[:0]
+	if measuring {
+		// Global source-backlog sample: needs every shard's counter, so
+		// the coordinator takes it after the last barrier. The full-scan
+		// reference recomputes it from the queues to cross-check.
+		var backlog int64
+		for _, sh := range s.shards {
+			backlog += sh.srcBacklog
+		}
+		if s.fullScan {
+			backlog = 0
+			for i := range s.srcQ {
+				backlog += int64(s.srcQ[i].Len())
+			}
+		}
+		s.backlog.Add(float64(backlog))
+		if s.metrics != nil {
+			s.sampleMetrics(backlog)
+		}
+		s.measured++
+	}
+	if s.cycle&(rebalanceStride-1) == rebalanceStride-1 {
+		s.rebalanceFreeLists()
+	}
+	s.cycle++
+}
+
+// rebalanceStride is how often (in cycles) the coordinator evens the
+// shard packet pools. Between rebalances the birth-heavy pools drift and
+// may allocate; that growth is one-time (the surplus stays in
+// circulation), so the stride trades a slightly higher pool high-water
+// mark for epilogue work too cheap to see in the cycle benchmarks. Must
+// be a power of two.
+const rebalanceStride = 32
+
+// rebalanceFreeLists evens the shards' packet pools in the serial
+// epilogue. Packets recycle into the pool of the shard that retires
+// them (delivery or discard site), not the shard that birthed them, so
+// left alone the birth-heavy pools allocate every cycle while the
+// delivery-heavy ones hoard — a steady allocation leak at scale.
+// Free-list lengths are deterministic functions of the trajectory, the
+// coordinator moves packets in fixed shard order, and a donated packet
+// carries no observable state, so results are unchanged at any worker
+// count.
+func (s *Sim) rebalanceFreeLists() {
+	if len(s.shards) < 2 {
+		return
+	}
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.alloc.FreeListLen()
+	}
+	target := total / len(s.shards)
+	lo, hi := 0, 0 // next taker, next donor
+	for {
+		for lo < len(s.shards) && s.shards[lo].alloc.FreeListLen() >= target {
+			lo++
+		}
+		for hi < len(s.shards) && s.shards[hi].alloc.FreeListLen() <= target {
+			hi++
+		}
+		if lo == len(s.shards) || hi == len(s.shards) {
+			return
+		}
+		taker, donor := s.shards[lo], s.shards[hi]
+		n := target - taker.alloc.FreeListLen()
+		if surplus := donor.alloc.FreeListLen() - target; surplus < n {
+			n = surplus
+		}
+		donor.alloc.Donate(&taker.alloc, n)
+	}
+}
+
+// runPhase executes one phase for every shard in worker w's static block
+// — the function the gang drives. Workers own fixed contiguous shard
+// ranges, so scheduling never affects which goroutine touches what.
+func (s *Sim) runPhase(w, phase int) {
+	lo := w * len(s.shards) / s.workers
+	hi := (w + 1) * len(s.shards) / s.workers
+	for k := lo; k < hi; k++ {
+		sh := s.shards[k]
+		switch phase {
+		case phaseArbitrate:
+			sh.phaseArbitrateRun()
+		case phaseMove:
+			sh.phaseMoveRun()
+		case phaseInject:
+			sh.phaseInjectRun()
+		}
+	}
+}
+
+// phaseArbitrateRun is phase 1 for one shard: arbitrate every (active)
+// owned switch against the pre-movement state, recording grants without
+// popping. Mutates only this shard's arbiters and scratch; reads peer
+// shards' buffers through the blocking probes, which is safe because no
+// buffer changes until the phase barrier.
+// damqvet:hotpath
+func (sh *shard) phaseArbitrateRun() {
+	s := sh.sim
+	sh.pending = sh.pending[:0]
+	for d := range sh.outbox {
+		sh.outbox[d] = sh.outbox[d][:0]
+	}
+	nStages := len(s.stages)
 	if s.fullScan {
 		for st := 0; st < nStages; st++ {
-			for si, swc := range s.stages[st] {
-				s.arbitrateOne(st, si, swc)
+			row := s.stages[st]
+			for si := sh.lo; si < sh.hi; si++ {
+				sh.arbitrateOne(st, si, row[si])
 			}
 		}
-	} else {
-		for st := 0; st < nStages; st++ {
-			lst := s.active[st]
-			w := 0
-			for _, si := range lst {
-				swc := s.stages[st][int(si)]
-				s.arbitrateOne(st, int(si), swc)
-				s.lastArb[st][si] = s.cycle
-				if !swc.Empty() {
-					lst[w] = si
-					w++
-				}
-			}
-			s.active[st] = lst[:w]
+		return
+	}
+	for st := 0; st < nStages; st++ {
+		row := s.stages[st]
+		for _, si := range sh.active[st] {
+			sh.arbitrateOne(st, int(si), row[si])
+			sh.lastArb[st][int(si)-sh.lo] = s.cycle
 		}
 	}
+}
 
-	// Phase 2: deliveries and inter-stage transfers (pops already done).
-	for i := range s.moveScratch {
-		mv := &s.moveScratch[i]
+// arbitrateOne runs one switch's arbitration and records its grants.
+// damqvet:hotpath
+func (sh *shard) arbitrateOne(st, si int, swc *sw.Switch) {
+	sh.grantScratch = swc.Arbitrate(sh.probes[st][si-sh.lo], sh.grantScratch[:0])
+	for _, g := range sh.grantScratch {
+		sh.pending = append(sh.pending, pendingGrant{st: int32(st), si: int32(si), g: g})
+	}
+}
+
+// phaseMoveRun is phase 2 for one shard: pop the recorded grants in
+// order; deliveries and fault drops are finished locally, inter-stage
+// transfers are routed into the destination shard's outbox. Afterwards
+// switches whose last packet left drop out of the active set.
+// damqvet:hotpath
+func (sh *shard) phaseMoveRun() {
+	s := sh.sim
+	measuring := s.measuring
+	last := len(s.stages) - 1
+	for i := range sh.pending {
+		pg := &sh.pending[i]
+		st, si := int(pg.st), int(pg.si)
+		p := s.stages[st][si].PopGrant(pg.g)
 		// A granted packet crosses the link leaving its switch; if that
 		// link is down this cycle it is dropped here — counted as
 		// faulted-discard, never silently lost. This applies under both
 		// protocols: blocking flow control cannot see a link die after
 		// the grant, exactly like the hardware.
-		if s.flt != nil && s.dropOnFaultedLink(mv.stage, mv.swIdx, mv.out, res, measuring) {
-			s.inFlight--
-			s.alloc.Recycle(mv.p)
-			mv.p = nil
+		if s.flt != nil && sh.dropOnFaultedLink(st, si, pg.g.Out, measuring) {
+			sh.inFlight--
+			sh.alloc.Recycle(p)
 			continue
 		}
-		if mv.stage == nStages-1 {
-			s.inFlight--
-			s.deliver(mv.p, res, measuring)
-			s.alloc.Recycle(mv.p)
-			mv.p = nil
+		if st == last {
+			sh.inFlight--
+			sh.deliver(p, measuring)
+			sh.alloc.Recycle(p)
 			continue
 		}
-		nsw, nport := s.top.NextStage(mv.swIdx, mv.out)
-		mv.p.OutPort = s.top.RouteDigit(mv.p.Dest, mv.stage+1)
-		next := s.stages[mv.stage+1][nsw]
-		if next.Offer(nport, mv.p) {
-			s.noteAccept(mv.stage+1, nsw)
-			mv.p = nil
-			continue
-		}
-		switch s.cfg.Protocol {
-		case sw.Discarding:
-			s.inFlight--
-			if measuring {
-				res.DiscardedInNet++
-				if s.metrics != nil {
-					s.metrics.discardedNet.Inc()
-				}
+		nsw, nport := s.top.NextStage(si, pg.g.Out)
+		p.OutPort = s.top.RouteDigit(p.Dest, st+1)
+		d := s.shardOfSw[nsw]
+		sh.outbox[d] = append(sh.outbox[d], xfer{p: p, st: int32(st + 1), si: int32(nsw), in: int32(nport)})
+	}
+	if s.fullScan {
+		return
+	}
+	for st := range sh.active {
+		row := s.stages[st]
+		lst := sh.active[st]
+		w := 0
+		for _, si := range lst {
+			if !row[si].Empty() {
+				lst[w] = si
+				w++
 			}
-			s.alloc.Recycle(mv.p)
-			mv.p = nil
-		default:
-			// The blocking probe guaranteed admission; reaching here is a
-			// simulator bug, not a model outcome.
-			panic(fmt.Sprintf("netsim: blocked packet %v escaped upstream", mv.p))
+		}
+		sh.active[st] = lst[:w]
+	}
+}
+
+// phaseInjectRun is phase 3 for one shard: accept the transfers addressed
+// to its switches (inboxes are drained in source-shard order, so the
+// sequence is independent of the worker count), then generate and inject
+// at its sources, then sample its occupancy. Only this shard offers into
+// its switches, and the shuffle wiring delivers at most one packet per
+// input port per cycle, so admission decisions see exactly the state a
+// serial sweep would.
+// damqvet:hotpath
+func (sh *shard) phaseInjectRun() {
+	s := sh.sim
+	measuring := s.measuring
+	for j := range s.shards {
+		inbox := s.shards[j].outbox[sh.id]
+		for i := range inbox {
+			x := &inbox[i]
+			st, si := int(x.st), int(x.si)
+			if s.stages[st][si].Offer(int(x.in), x.p) {
+				sh.noteAccept(st, si)
+				continue
+			}
+			switch s.cfg.Protocol {
+			case sw.Discarding:
+				sh.inFlight--
+				if measuring {
+					sh.partial.DiscardedInNet++
+					if s.metrics != nil {
+						s.metrics.discardedNet.Inc()
+					}
+				}
+				sh.alloc.Recycle(x.p)
+			default:
+				// The blocking probe guaranteed admission; reaching here
+				// is a simulator bug, not a model outcome.
+				panic(fmt.Sprintf("netsim: blocked packet %v escaped upstream", x.p))
+			}
 		}
 	}
 
-	// Phase 3: generation and injection.
-	for src := 0; src < s.cfg.Inputs; src++ {
-		dest, hot, ok := s.pattern.Generate(src)
+	// Generation and injection over this shard's sources, ascending.
+	for _, src32 := range sh.srcs {
+		src := int(src32)
+		dest, hot, ok := sh.pattern.Generate(src)
 		if ok {
-			p := s.alloc.New(src, dest, s.lengths.Draw(), s.cycle)
+			p := sh.alloc.New(src, dest, sh.lengths.Draw(), s.cycle)
 			p.Hot = hot
-			s.enqueueSource(p, res, measuring)
+			sh.enqueueSource(p, measuring)
 		}
 		// Blocking: drain as much backlog as fits (at most one packet can
 		// enter the stage-0 buffer per cycle — the input link carries one
 		// packet per cycle).
 		if s.cfg.Protocol == sw.Blocking && s.srcQ[src].Len() > 0 {
-			if s.inject(s.srcQ[src].Front()) {
+			if sh.inject(s.srcQ[src].Front()) {
 				s.srcQ[src].PopFront()
-				s.srcBacklog--
+				sh.srcBacklog--
 				if measuring {
-					res.Injected++
+					sh.partial.Injected++
 					if s.metrics != nil {
 						s.metrics.injected.Inc()
 					}
@@ -577,48 +909,25 @@ func (s *Sim) Step(res *Result, measuring bool) {
 	}
 
 	if measuring {
-		// Occupancy snapshots, total and per stage. Switch occupancy and
-		// the source backlog are incrementally maintained counters, so the
-		// snapshot is pure reads; the full-scan reference recomputes the
-		// backlog from the queues to cross-check the counter.
+		// Occupancy snapshots over this shard's switches, total and per
+		// stage; incrementally maintained counters, so pure reads.
 		for st := range s.stages {
-			for _, swc := range s.stages[st] {
-				n := float64(swc.Len())
-				res.Occupancy.Add(n)
-				res.StageOccupancy[st].Add(n)
+			row := s.stages[st]
+			for si := sh.lo; si < sh.hi; si++ {
+				n := float64(row[si].Len())
+				sh.partial.Occupancy.Add(n)
+				sh.partial.StageOccupancy[st].Add(n)
 			}
 		}
-		backlog := s.srcBacklog
-		if s.fullScan {
-			backlog = 0
-			for i := range s.srcQ {
-				backlog += int64(s.srcQ[i].Len())
-			}
-		}
-		res.SourceBacklog.Add(float64(backlog))
-		if s.metrics != nil {
-			s.sampleMetrics(backlog)
-		}
-	}
-	s.cycle++
-}
-
-// arbitrateOne runs one switch's arbitration and queues its granted
-// packets as moves.
-// damqvet:hotpath
-func (s *Sim) arbitrateOne(st, si int, swc *sw.Switch) {
-	s.grantScratch = swc.Arbitrate(s.probes[st][si], s.grantScratch[:0])
-	for _, g := range s.grantScratch {
-		p := swc.PopGrant(g)
-		s.moveScratch = append(s.moveScratch, move{p: p, stage: st, swIdx: si, out: g.Out})
 	}
 }
 
 // enqueueSource routes a newborn packet toward the network.
 // damqvet:hotpath
-func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
+func (sh *shard) enqueueSource(p *packet.Packet, measuring bool) {
+	s := sh.sim
 	if measuring {
-		res.Generated++
+		sh.partial.Generated++
 		if s.metrics != nil {
 			s.metrics.generated.Inc()
 		}
@@ -626,50 +935,56 @@ func (s *Sim) enqueueSource(p *packet.Packet, res *Result, measuring bool) {
 	switch s.cfg.Protocol {
 	case sw.Blocking:
 		s.srcQ[p.Source].PushBack(p)
-		s.srcBacklog++
+		sh.srcBacklog++
 	default: // Discarding: offer immediately, drop on refusal.
-		if s.inject(p) {
+		if sh.inject(p) {
 			if measuring {
-				res.Injected++
+				sh.partial.Injected++
 				if s.metrics != nil {
 					s.metrics.injected.Inc()
 				}
 			}
 		} else {
 			if measuring {
-				res.DiscardedAtEntry++
+				sh.partial.DiscardedAtEntry++
 				if s.metrics != nil {
 					s.metrics.discardedEntry.Inc()
 				}
 			}
-			s.alloc.Recycle(p)
+			sh.alloc.Recycle(p)
 		}
 	}
 }
 
-// inject attempts to place p into its stage-0 buffer.
+// inject attempts to place p into its stage-0 buffer. The source belongs
+// to this shard, so the stage-0 switch does too.
 // damqvet:hotpath
-func (s *Sim) inject(p *packet.Packet) bool {
+func (sh *shard) inject(p *packet.Packet) bool {
+	s := sh.sim
 	swIdx, port := s.top.FirstStageSwitch(p.Source)
 	p.OutPort = s.top.RouteDigit(p.Dest, 0)
 	if !s.stages[0][swIdx].Offer(port, p) {
 		return false
 	}
-	s.noteAccept(0, swIdx)
+	sh.noteAccept(0, swIdx)
 	p.Injected = s.cycle
-	s.inFlight++
+	sh.inFlight++
 	return true
 }
 
 // deliver records a packet reaching its memory module. All deliveries in
 // the measurement window count toward throughput; latency samples come
 // only from packets born inside the window, so warmup transients do not
-// bias the mean.
+// bias the mean. The birth-phase draw comes from this shard's own phase
+// stream, in this shard's delivery order — deterministic at any worker
+// count.
 // damqvet:hotpath
-func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
+func (sh *shard) deliver(p *packet.Packet, measuring bool) {
 	if !measuring {
 		return
 	}
+	s := sh.sim
+	res := &sh.partial
 	res.Delivered++
 	if s.metrics != nil {
 		// The injection-based latency is observed for every measured
@@ -683,12 +998,9 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 		return
 	}
 	c := int64(s.cfg.ClocksPerCycle)
-	bornClock := p.Born*c + int64(s.phase.Intn(int(c)))
+	bornClock := p.Born*c + int64(sh.phase.Intn(int(c)))
 	deliveryClock := (s.cycle + 1) * c
 	injectClock := (p.Injected + 1) * c
-	// res.LatencyHist is guaranteed non-nil here: Run allocates it up
-	// front (NewResult) and Step re-checks once per measured cycle, so the
-	// per-delivery path carries no lazy-allocation branch.
 	res.LatencyHist.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromBorn.Add(float64(deliveryClock - bornClock))
 	res.LatencyFromInjection.Add(float64(deliveryClock - injectClock))
@@ -707,27 +1019,61 @@ func (s *Sim) deliver(p *packet.Packet, res *Result, measuring bool) {
 
 // NewResult returns a Result with its measurement structures (latency
 // histogram, per-stage occupancy summaries) pre-allocated for this
-// simulation. Direct Step callers should prefer it over a zero Result so
-// nothing is lazily allocated on the measurement path.
+// simulation, and Config.Workers zeroed (an execution knob has no place
+// in a result). Collect builds on it; it is exported for callers that
+// want an empty, correctly shaped Result.
 func (s *Sim) NewResult() *Result {
+	cfg := s.cfg
+	cfg.Workers = 0
 	return &Result{
-		Config:         s.cfg,
+		Config:         cfg,
 		LatencyHist:    stats.NewHistogram(4096, float64(s.cfg.ClocksPerCycle)),
 		StageOccupancy: make([]stats.Summary, len(s.stages)),
 	}
 }
 
-// Run executes warmup then measurement and returns the results.
-func (s *Sim) Run() *Result {
+// Collect merges the per-shard measurement partials, in shard order, into
+// one Result covering every measuring Step so far. It is non-destructive
+// (call it again after more Steps for an updated view). The merge order
+// is fixed by the shard partition — a pure function of the topology — so
+// the Result is byte-identical at every worker count. The reported
+// MeasureCycles is the measuring-step count, so per-cycle rates like
+// Throughput stay correct for partial runs.
+func (s *Sim) Collect() *Result {
 	res := s.NewResult()
+	res.Config.MeasureCycles = s.measured
+	for _, sh := range s.shards {
+		p := &sh.partial
+		res.Generated += p.Generated
+		res.Injected += p.Injected
+		res.Delivered += p.Delivered
+		res.DiscardedAtEntry += p.DiscardedAtEntry
+		res.DiscardedInNet += p.DiscardedInNet
+		res.FaultedInNet += p.FaultedInNet
+		res.LatencyFromBorn.Merge(&p.LatencyFromBorn)
+		res.LatencyFromInjection.Merge(&p.LatencyFromInjection)
+		res.HotLatency.Merge(&p.HotLatency)
+		res.ColdLatency.Merge(&p.ColdLatency)
+		res.Occupancy.Merge(&p.Occupancy)
+		for st := range res.StageOccupancy {
+			res.StageOccupancy[st].Merge(&p.StageOccupancy[st])
+		}
+		res.LatencyHist.Merge(p.LatencyHist)
+	}
+	res.SourceBacklog = s.backlog
+	return res
+}
+
+// Run executes warmup then measurement and returns the collected results.
+func (s *Sim) Run() *Result {
 	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
-		s.Step(res, false)
+		s.Step(false)
 	}
 	s.warmupBoundary = s.cycle
 	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
-		s.Step(res, true)
+		s.Step(true)
 	}
-	return res
+	return s.Collect()
 }
 
 // ctxCheckStride is how many cycles RunCtx simulates between context
@@ -738,26 +1084,23 @@ const ctxCheckStride = 256
 // RunCtx is Run with cooperative cancellation: it polls ctx every
 // ctxCheckStride cycles and, when cancelled, returns the partial Result
 // together with ctx.Err(). The partial result describes itself — its
-// Config.MeasureCycles is rewritten to the cycles actually measured, so
+// Config.MeasureCycles is the cycles actually measured (Collect), so
 // Throughput and the per-cycle rates stay correct and the caller can
 // report "interrupted at N of M". An uncancelled RunCtx returns exactly
 // what Run would.
 func (s *Sim) RunCtx(ctx context.Context) (*Result, error) {
-	res := s.NewResult()
 	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			res.Config.MeasureCycles = 0
-			return res, ctx.Err()
+			return s.Collect(), ctx.Err()
 		}
-		s.Step(res, false)
+		s.Step(false)
 	}
 	s.warmupBoundary = s.cycle
 	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			res.Config.MeasureCycles = i
-			return res, ctx.Err()
+			return s.Collect(), ctx.Err()
 		}
-		s.Step(res, true)
+		s.Step(true)
 	}
-	return res, nil
+	return s.Collect(), nil
 }

@@ -88,18 +88,14 @@ func TestBlockingConservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := &Result{Config: sim.cfg}
-		var generated, delivered int64
 		for i := 0; i < 3000; i++ {
-			before := res.Delivered
-			sim.Step(res, true)
-			delivered += res.Delivered - before
+			sim.Step(true)
 		}
-		generated = res.Generated
-		accounted := delivered + sim.InFlight() + sim.SourceBacklogLen()
-		if generated != accounted {
+		res := sim.Collect()
+		accounted := res.Delivered + sim.InFlight() + sim.SourceBacklogLen()
+		if res.Generated != accounted {
 			t.Fatalf("%v: generated %d != delivered %d + inflight %d + backlog %d",
-				kind, generated, delivered, sim.InFlight(), sim.SourceBacklogLen())
+				kind, res.Generated, res.Delivered, sim.InFlight(), sim.SourceBacklogLen())
 		}
 		if res.DiscardedAtEntry != 0 || res.DiscardedInNet != 0 {
 			t.Fatalf("%v: blocking protocol discarded packets", kind)
@@ -115,10 +111,10 @@ func TestDiscardingConservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := &Result{Config: sim.cfg}
 		for i := 0; i < 3000; i++ {
-			sim.Step(res, true)
+			sim.Step(true)
 		}
+		res := sim.Collect()
 		if res.Generated != res.Injected+res.DiscardedAtEntry {
 			t.Fatalf("%v: generated %d != injected %d + entry discards %d",
 				kind, res.Generated, res.Injected, res.DiscardedAtEntry)

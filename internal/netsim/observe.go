@@ -75,7 +75,9 @@ type netMetrics struct {
 // every switch (nil detaches everything). Cold path: call it before
 // Run/Step. The probes consume no randomness, so an observed run
 // produces bit-identical Results to an unobserved one with the same
-// config.
+// config. An observed Sim steps its shards serially even when Workers > 1
+// (the instruments are shared across shards); by the sharded-determinism
+// contract that changes no result.
 func (s *Sim) SetObserver(o *obs.Observer) {
 	if o == nil {
 		s.metrics = nil
@@ -138,6 +140,7 @@ func (s *Sim) SetObserver(o *obs.Observer) {
 // grows (amortized append, off by default).
 func (s *Sim) sampleMetrics(backlog int64) {
 	m := s.metrics
+	inFlight := s.InFlight()
 	for st := range s.stages {
 		total := int64(0)
 		for _, swc := range s.stages[st] {
@@ -152,7 +155,7 @@ func (s *Sim) sampleMetrics(backlog int64) {
 		}
 		m.stageOcc[st].Set(total)
 	}
-	m.inFlight.Set(s.inFlight)
+	m.inFlight.Set(inFlight)
 	m.backlog.Set(backlog)
 
 	iv := m.observer.Interval()
@@ -169,7 +172,7 @@ func (s *Sim) sampleMetrics(backlog int64) {
 		Injected:     m.injected.Value(),
 		Delivered:    m.delivered.Value(),
 		Discarded:    m.discardedEntry.Value() + m.discardedNet.Value(),
-		InFlight:     s.inFlight,
+		InFlight:     inFlight,
 		Backlog:      backlog,
 		LatencySum:   m.latInjected.Sum(),
 		LatencyCount: m.latInjected.Total(),

@@ -158,12 +158,11 @@ func TestObservedStepSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim.SetObserver(obs.NewObserver())
-	res := &Result{Config: sim.cfg}
 	for i := 0; i < 2000; i++ {
-		sim.Step(res, true)
+		sim.Step(true)
 	}
 	avg := testing.AllocsPerRun(500, func() {
-		sim.Step(res, true)
+		sim.Step(true)
 	})
 	const limit = 0.05
 	if avg > limit {

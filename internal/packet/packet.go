@@ -58,11 +58,30 @@ func (p *Packet) String() string {
 // of a run; with it, steady state allocates nothing — the live set plus
 // free list plateau at the simulation's high-water mark.
 //
-// An Alloc belongs to one simulation (it is not safe for concurrent use);
-// parallel sweeps give each run its own Alloc.
+// An Alloc belongs to one simulation shard (it is not safe for concurrent
+// use); parallel sweeps give each run its own Alloc, and a sharded run
+// gives each shard its own, partitioned over the ID space with
+// SetIDStream so IDs stay unique network-wide.
 type Alloc struct {
 	next uint64
-	free []*Packet
+	// offset/stride partition the ID space across shards (SetIDStream).
+	// The zero value issues 1, 2, 3, ... exactly as before.
+	offset uint64
+	stride uint64
+	free   []*Packet
+}
+
+// SetIDStream partitions the ID space for sharded simulations: the n-th
+// packet (1-based) gets ID offset + (n-1)*stride + 1, so shard k of S
+// calling SetIDStream(k, S) issues IDs congruent to k+1 mod S — unique
+// across shards without any cross-shard coordination. Call before the
+// first New; the zero state behaves as SetIDStream(0, 1).
+func (a *Alloc) SetIDStream(offset, stride uint64) {
+	if stride == 0 {
+		stride = 1
+	}
+	a.offset = offset
+	a.stride = stride
 }
 
 // New returns a packet with the next unique ID and Injected = -1,
@@ -71,6 +90,10 @@ type Alloc struct {
 // damqvet:hotpath
 func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
 	a.next++
+	id := a.next
+	if a.stride > 1 {
+		id = a.offset + (a.next-1)*a.stride + 1
+	}
 	var p *Packet
 	if n := len(a.free); n > 0 {
 		p = a.free[n-1]
@@ -80,7 +103,7 @@ func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
 		p = new(Packet)
 	}
 	*p = Packet{
-		ID:       a.next,
+		ID:       id,
 		Source:   source,
 		Dest:     dest,
 		Slots:    slots,
@@ -99,6 +122,29 @@ func (a *Alloc) Recycle(p *Packet) {
 		return
 	}
 	a.free = append(a.free, p)
+}
+
+// Donate moves up to n retired packets from a's free list to dst's and
+// reports how many moved. A sharded simulation's coordinator rebalances
+// pools with it between cycles: packets recycle into the pool of the
+// shard that retires them, not the one that birthed them, so without
+// rebalancing the birth-heavy pools allocate forever while the others
+// hoard. A donated packet carries no state — New rewrites every field —
+// so donation cannot affect simulation results.
+func (a *Alloc) Donate(dst *Alloc, n int) int {
+	if n > len(a.free) {
+		n = len(a.free)
+	}
+	if n <= 0 || dst == a {
+		return 0
+	}
+	cut := len(a.free) - n
+	for i, p := range a.free[cut:] {
+		dst.free = append(dst.free, p)
+		a.free[cut+i] = nil
+	}
+	a.free = a.free[:cut]
+	return n
 }
 
 // Issued reports how many packets have been allocated (recycled reuses

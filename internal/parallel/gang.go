@@ -1,0 +1,110 @@
+package parallel
+
+// Gang is a fixed crew of worker goroutines driven in lockstep phases,
+// built for sharded simulation stepping: the caller owns a static
+// partition of the work (worker w always handles the same shard block)
+// and repeatedly runs short phases separated by barriers. Unlike For/Map,
+// a Gang never rebalances — determinism comes from the static assignment,
+// and the per-phase cost is two channel operations per worker, with no
+// allocation in steady state.
+//
+// The calling goroutine acts as worker 0, so a Gang of size n occupies
+// exactly n goroutines during Run (n-1 parked between phases). Phases are
+// totally ordered: every worker observes phase p complete (Run returns)
+// before any worker starts phase p+1, which is the happens-before edge a
+// sharded simulator needs between its arbitrate/move/inject phases.
+//
+// A panic in any worker's phase function is re-raised on the calling
+// goroutine after all workers finish the phase (lowest worker index wins
+// when several panic), so a simulation invariant failure inside a shard
+// surfaces exactly like it would in a serial run.
+type Gang struct {
+	n     int
+	run   func(worker, phase int)
+	start []chan int    // one per spawned worker (workers 1..n-1)
+	done  chan struct{} // one token per spawned worker per phase
+	rec   []any         // recovered panic per worker, reset each phase
+	open  bool
+}
+
+// NewGang starts n-1 worker goroutines and returns the gang. run(w, p)
+// executes phase p's work for worker w's static partition; it is invoked
+// with w in [0, n) exactly once per Run call. n must be at least 1; a
+// gang of 1 spawns nothing and Run degenerates to a direct call.
+func NewGang(n int, run func(worker, phase int)) *Gang {
+	if n < 1 {
+		panic("parallel: gang size must be at least 1")
+	}
+	g := &Gang{
+		n:    n,
+		run:  run,
+		done: make(chan struct{}, n),
+		rec:  make([]any, n),
+		open: true,
+	}
+	for w := 1; w < n; w++ {
+		ch := make(chan int, 1)
+		g.start = append(g.start, ch)
+		go g.loop(w, ch)
+	}
+	return g
+}
+
+// Size returns the gang's worker count (including the caller).
+func (g *Gang) Size() int { return g.n }
+
+// loop is the spawned workers' life: wait for a phase number, execute it,
+// signal done; exit when the start channel closes (Close).
+func (g *Gang) loop(w int, start chan int) {
+	for phase := range start {
+		g.call(w, phase)
+		g.done <- struct{}{}
+	}
+}
+
+// call runs one worker's phase under a recover so a shard panic does not
+// kill the process from a worker goroutine (it is re-raised by Run).
+func (g *Gang) call(w, phase int) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.rec[w] = r
+		}
+	}()
+	g.rec[w] = nil
+	g.run(w, phase)
+}
+
+// Run executes phase on every worker and returns when all have finished —
+// the barrier between simulation phases. The caller executes worker 0's
+// share itself. Run must not be called after Close, nor concurrently.
+func (g *Gang) Run(phase int) {
+	if !g.open {
+		panic("parallel: Run on a closed gang")
+	}
+	for _, ch := range g.start {
+		ch <- phase
+	}
+	g.call(0, phase)
+	for range g.start {
+		<-g.done
+	}
+	for w := 0; w < g.n; w++ {
+		if r := g.rec[w]; r != nil {
+			panic(r)
+		}
+	}
+}
+
+// Close releases the spawned worker goroutines. Idempotent; after Close
+// the gang cannot Run again (callers fall back to a serial loop, which by
+// the determinism contract computes identical results).
+func (g *Gang) Close() {
+	if !g.open {
+		return
+	}
+	g.open = false
+	for _, ch := range g.start {
+		close(ch)
+	}
+	g.start = nil
+}

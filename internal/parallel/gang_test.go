@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsEveryWorkerEveryPhase(t *testing.T) {
+	const n = 4
+	var hits [n]int64
+	var phases [n][]int
+	g := NewGang(n, func(w, p int) {
+		atomic.AddInt64(&hits[w], 1)
+		// Only worker 0 runs on the calling goroutine, but phases are
+		// barrier-separated, so appending under w is race-free.
+		phases[w] = append(phases[w], p)
+	})
+	defer g.Close()
+	for p := 0; p < 5; p++ {
+		g.Run(p)
+	}
+	for w := 0; w < n; w++ {
+		if hits[w] != 5 {
+			t.Fatalf("worker %d ran %d phases, want 5", w, hits[w])
+		}
+		for p, got := range phases[w] {
+			if got != p {
+				t.Fatalf("worker %d phase order %v", w, phases[w])
+			}
+		}
+	}
+}
+
+// TestGangBarrier pins the happens-before contract: all of phase p's
+// writes are visible to every worker in phase p+1.
+func TestGangBarrier(t *testing.T) {
+	const n = 8
+	buf := make([]int, n)
+	g := NewGang(n, func(w, p int) {
+		if p%2 == 0 {
+			buf[w] = p
+			return
+		}
+		// Odd phases read every even-phase write.
+		for i, v := range buf {
+			if v != p-1 {
+				t.Errorf("phase %d worker %d sees buf[%d]=%d", p, w, i, v)
+				return
+			}
+		}
+	})
+	defer g.Close()
+	for p := 0; p < 6; p++ {
+		g.Run(p)
+	}
+}
+
+func TestGangPanicPropagates(t *testing.T) {
+	g := NewGang(3, func(w, p int) {
+		if w == 2 {
+			panic("shard invariant broken")
+		}
+	})
+	defer g.Close()
+	defer func() {
+		if r := recover(); r != "shard invariant broken" {
+			t.Fatalf("recovered %v", r)
+		}
+		// The gang must still be usable for the next phase after a panic.
+		ran := int64(0)
+		g2 := NewGang(2, func(w, p int) { atomic.AddInt64(&ran, 1) })
+		defer g2.Close()
+		g2.Run(0)
+		if ran != 2 {
+			t.Fatalf("post-panic gang ran %d workers", ran)
+		}
+	}()
+	g.Run(0)
+}
+
+func TestGangOfOne(t *testing.T) {
+	ran := 0
+	g := NewGang(1, func(w, p int) {
+		if w != 0 {
+			t.Fatalf("worker %d in gang of 1", w)
+		}
+		ran++
+	})
+	g.Run(0)
+	g.Run(1)
+	g.Close()
+	g.Close() // idempotent
+	if ran != 2 {
+		t.Fatalf("ran %d", ran)
+	}
+}

@@ -167,6 +167,27 @@ func (h *Histogram) Add(x float64) {
 	h.counts[i]++
 }
 
+// Merge folds other into h bucket by bucket, as if all of other's
+// observations had been added to h directly. The combination is exact
+// (integer counts, one float sum), so merging per-shard histograms in any
+// fixed order reproduces the serial histogram byte for byte. Both
+// histograms must share the same bucket count and width.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if len(h.counts) != len(other.counts) || h.width != other.width {
+		panic(fmt.Sprintf("stats: merging histogram %dx%v into %dx%v",
+			len(other.counts), other.width, len(h.counts), h.width))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.overflow += other.overflow
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 

@@ -40,9 +40,21 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithWorkers bounds how many simulation points an experiment runs
-// concurrently (0 = GOMAXPROCS, 1 = serial). Results are identical at
-// any worker count. Ignored by single-simulation constructors.
+// WithWorkers sets the parallelism of whatever it is applied to, and it
+// means two things depending on the target:
+//
+//   - Experiment runners (ReproduceTable2..6, sweeps, ablations): how many
+//     simulation points run concurrently — fan-out across runs.
+//   - NewNetwork/RunNetwork and the other single-simulation constructors:
+//     how many cores step that one network — the run is sharded into
+//     contiguous switch ranges per stage, stepped in barrier-separated
+//     phases (NetworkConfig.Workers carries the same knob).
+//
+// In both meanings 0 = GOMAXPROCS and 1 = serial, and results are
+// byte-identical at any worker count: sweeps because each run owns its
+// RNG, intra-run sharding because the shard partition and its RNG streams
+// are pure functions of the topology and seed. A count exceeding the
+// network's switches per stage fails validation with ErrBadWorkers.
 func WithWorkers(n int) Option {
 	return func(op *options) {
 		op.workers = n

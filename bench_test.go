@@ -98,16 +98,6 @@ func BenchmarkVarLenExtension(b *testing.B) {
 	}
 }
 
-// BenchmarkAsyncExtension regenerates the asynchronous event-driven
-// experiment (E9): FIFO vs DAMQ with fixed and variable packet lengths.
-func BenchmarkAsyncExtension(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := damq.ReproduceAsync(damq.QuickScale); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // BenchmarkAblationConnectivity regenerates the DAFC connectivity
 // ablation (A1).
 func BenchmarkAblationConnectivity(b *testing.B) {

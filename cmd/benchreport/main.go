@@ -4,8 +4,13 @@
 // than an anecdote. BENCH_netsim.json at the repo root is the recorded
 // baseline; regenerate it after intentional performance work with:
 //
-//	go run ./cmd/benchreport -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket' \
-//	    -notime 'Sharded|1024' -out BENCH_netsim.json
+//	go run ./cmd/benchreport -pkg ./... \
+//	    -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket|BenchmarkAsyncEvent|BenchmarkAsyncExtension' \
+//	    -count 5 -notime 'Sharded|1024' -out BENCH_netsim.json
+//
+// The regex spans packages (the async event-engine benchmarks live in
+// internal/eventsim), so -pkg is ./...; entries fold by benchmark name,
+// which therefore must stay unique across the repository.
 //
 // -notime names benchmarks whose wall-clock is not comparable across
 // machines — the multi-worker sharded benchmarks, whose ns/op depends on

@@ -4,6 +4,7 @@
 package alloc
 
 import (
+	"container/heap"
 	"fmt"
 
 	"fixture/obs"
@@ -106,6 +107,40 @@ func (r *Ring) Bad(v int) []int {
 	box(r)                       // pointer-shaped: no boxing allocation
 	_ = f
 	return tmp
+}
+
+// eventHeap implements heap.Interface. Declaring it is fine — calling
+// container/heap on it from a hot path is the violation, because every
+// element moves through `any`.
+type eventHeap []int
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Schedule is hot: each container/heap call gets exactly one finding
+// (the heap rule suppresses the generic boxing finding on the same call).
+// damqvet:hotpath
+func Schedule(h *eventHeap, v int) int {
+	heap.Push(h, v)        // want "container/heap.Push in hot path boxes through any"
+	heap.Fix(h, 0)         // want "container/heap.Fix in hot path boxes through any"
+	x := heap.Pop(h).(int) // want "container/heap.Pop in hot path boxes through any"
+	return x
+}
+
+// Drain is cold: container/heap off the hot path draws no finding.
+func Drain(h *eventHeap) {
+	for h.Len() > 0 {
+		heap.Pop(h)
+	}
 }
 
 // Setup returns annotated and clean anonymous functions: the annotated

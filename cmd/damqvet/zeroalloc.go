@@ -8,7 +8,8 @@ import (
 
 // zeroalloc enforces the 0-allocs/op invariant on functions annotated
 // // damqvet:hotpath. Inside an annotated body it flags the allocation
-// classes the benchmark gate has caught in the past: fmt.* calls, string
+// classes the benchmark gate has caught in the past: fmt.* calls,
+// container/heap operations (every element moves through `any`), string
 // concatenation, closure literals, appends whose backing slice is not
 // reachable from the receiver or a parameter, concrete values boxed into
 // interface arguments, and trace/metrics sink method calls outside a
@@ -111,6 +112,16 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 	if calleeFromPkg(info, call, "fmt", "") {
 		sel := call.Fun.(*ast.SelectorExpr)
 		c.report(call.Pos(), ruleZeroalloc, "fmt.%s in hot path allocates; move formatting off the hot path", sel.Sel.Name)
+		return
+	}
+	if calleeFromPkg(info, call, "container/heap", "") {
+		// heap.Interface moves every element through `any`: each Push
+		// boxes its argument and each Pop boxes the return, one
+		// allocation per event no matter what the elements are. The
+		// returns also suppress the generic boxing finding on the same
+		// call — one finding, naming the real fix.
+		sel := call.Fun.(*ast.SelectorExpr)
+		c.report(call.Pos(), ruleZeroalloc, "container/heap.%s in hot path boxes through any; use a typed heap (see internal/eventsim.Engine)", sel.Sel.Name)
 		return
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {

@@ -8,6 +8,8 @@
 //	omegasim -exp table6            # Table 6 (hot spot)
 //	omegasim -exp figure3           # Figure 3 (latency vs throughput)
 //	omegasim -exp varlen            # variable-length extension
+//	omegasim -exp async             # asynchronous event-driven extension
+//	omegasim -exp async -packets 200000       # ~200k delivered packets/point
 //	omegasim -exp run -kind damq -load 0.6 -protocol blocking  # one run
 //	omegasim -exp run -inputs 1024 -workers 8                  # sharded 1024×1024
 //
@@ -52,6 +54,7 @@ func main() {
 	policy := flag.String("policy", "smart", "run: smart|dumb arbitration")
 	hot := flag.Float64("hot", 0, "run: hot-spot fraction (0 = uniform)")
 	seed := flag.Uint64("seed", 1988, "run: PRNG seed")
+	packets := flag.Int64("packets", 0, "async: size each point's measurement window to deliver ~this many packets (0 = -scale's cycle spans)")
 	workers := flag.Int("workers", 0, "parallelism: concurrent simulations for sweeps, shard workers stepping the one network for -exp run (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	metricsPath := flag.String("metrics", "", "run: attach an observer and write its JSON snapshot to this path")
 	metricsInterval := flag.Int64("metrics-interval", 0, "run: record a cumulative time-series point every N cycles in the -metrics snapshot (0 = off)")
@@ -142,7 +145,7 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderVarLen(rows))
 	case "async":
-		rows, err := experiments.Async(sc)
+		rows, err := experiments.AsyncPackets(sc, *packets)
 		orDie(err)
 		fmt.Print(experiments.RenderAsync(rows))
 	case "treesat":

@@ -6,6 +6,7 @@ import (
 	"damq/internal/buffer"
 	"damq/internal/omega"
 	"damq/internal/packet"
+	"damq/internal/pktq"
 	"damq/internal/rng"
 	"damq/internal/stats"
 )
@@ -97,19 +98,31 @@ type Sim struct {
 	bufs         [][][]buffer.Buffer // [stage][switch][input]
 	outBusyUntil [][][]int64         // [stage][switch][output]
 	readCount    [][][]int           // concurrent reads per input buffer
-	transmitting [][]map[[2]int]bool // per switch: (in,out) pairs mid-transmission
+	transmitting [][][]bool          // per switch, flat [in*radix+out]: pairs mid-transmission
 	rr           [][]int             // per-switch rotating fairness offset
 
-	srcQ         [][]*packet.Packet
+	srcQ         []pktq.Queue // per-source injection backlog (ring, shrink-on-drain)
 	srcBusyUntil []int64
 
 	gens  []*rng.Source // per-source generation streams
 	sizes *rng.Source
 	alloc packet.Alloc
 
+	// probe is the reusable admission-probe scratch: CanAccept takes a
+	// routed copy of the candidate packet, and handing every probe its
+	// own heap copy (as the seed code did) allocated once per admission
+	// check.
+	probe packet.Packet
+
 	measureStart, measureEnd int64
 	res                      *Result
 	busyCycles               int64 // link cycles delivered at sinks in window
+
+	// onDeliver, when non-nil, observes every delivery as it happens.
+	// The engine-equivalence tests use it to pin the typed engine's
+	// per-packet delivery times and order against the seed engine;
+	// production runs leave it nil.
+	onDeliver func(p *packet.Packet, at int64)
 }
 
 // New validates and builds the simulation.
@@ -142,7 +155,7 @@ func New(cfg Config) (*Sim, error) {
 		var bufRow [][]buffer.Buffer
 		var busyRow [][]int64
 		var readRow [][]int
-		var txRow []map[[2]int]bool
+		var txRow [][]bool
 		for sw := 0; sw < top.SwitchesPerStage(); sw++ {
 			var bs []buffer.Buffer
 			for in := 0; in < cfg.Radix; in++ {
@@ -159,7 +172,7 @@ func New(cfg Config) (*Sim, error) {
 			bufRow = append(bufRow, bs)
 			busyRow = append(busyRow, make([]int64, cfg.Radix))
 			readRow = append(readRow, make([]int, cfg.Radix))
-			txRow = append(txRow, make(map[[2]int]bool))
+			txRow = append(txRow, make([]bool, cfg.Radix*cfg.Radix))
 		}
 		s.bufs = append(s.bufs, bufRow)
 		s.outBusyUntil = append(s.outBusyUntil, busyRow)
@@ -167,12 +180,13 @@ func New(cfg Config) (*Sim, error) {
 		s.transmitting = append(s.transmitting, txRow)
 		s.rr = append(s.rr, make([]int, top.SwitchesPerStage()))
 	}
-	s.srcQ = make([][]*packet.Packet, cfg.Inputs)
+	s.srcQ = make([]pktq.Queue, cfg.Inputs)
 	s.srcBusyUntil = make([]int64, cfg.Inputs)
 	return s, nil
 }
 
 // duration is a packet's link occupancy in cycles.
+// damqvet:hotpath
 func (s *Sim) duration(p *packet.Packet) int64 {
 	return s.cfg.Overhead + int64(p.Bytes)
 }
@@ -182,17 +196,52 @@ func (s *Sim) meanDuration() float64 {
 	return float64(s.cfg.Overhead) + float64(s.cfg.MinBytes+s.cfg.MaxBytes)/2
 }
 
+// dispatch routes one typed event to its handler: the switch is the
+// whole of what the seed engine used per-event closures for.
+// damqvet:hotpath
+func (s *Sim) dispatch(ev Event) {
+	switch ev.kind {
+	case evGenerate:
+		s.generate(int(ev.a))
+	case evKickSource:
+		s.kickSource(int(ev.a))
+	case evKickSwitch:
+		s.kickSwitch(int(ev.a), int(ev.b))
+	case evCompleteTx:
+		s.completeTx(int(ev.a), int(ev.b), int(ev.c), int(ev.d))
+	case evDeliver:
+		s.deliver(ev.p)
+	}
+}
+
+// runUntil executes events until none remain at or before limit and
+// returns the number executed.
+// damqvet:hotpath
+func (s *Sim) runUntil(limit int64) int {
+	n := 0
+	for {
+		ev, ok := s.eng.PopUntil(limit)
+		if !ok {
+			return n
+		}
+		s.dispatch(ev)
+		n++
+	}
+}
+
 // scheduleGeneration plants source src's next packet birth.
+// damqvet:hotpath
 func (s *Sim) scheduleGeneration(src int) {
 	if s.cfg.Load <= 0 {
 		return
 	}
 	p := s.cfg.Load / s.meanDuration()
 	gap := int64(s.gens[src].Geometric(p))
-	s.eng.After(gap, func() { s.generate(src) })
+	s.eng.After(gap, Event{kind: evGenerate, a: int32(src)})
 }
 
 // generate births one packet at source src and rearms the process.
+// damqvet:hotpath
 func (s *Sim) generate(src int) {
 	nbytes := s.sizes.IntnRange(s.cfg.MinBytes, s.cfg.MaxBytes)
 	var dest int
@@ -206,44 +255,47 @@ func (s *Sim) generate(src int) {
 	if s.res != nil && s.eng.Now() >= s.measureStart && s.eng.Now() < s.measureEnd {
 		s.res.Generated++
 	}
-	s.srcQ[src] = append(s.srcQ[src], p)
+	s.srcQ[src].PushBack(p)
 	s.kickSource(src)
 	s.scheduleGeneration(src)
 }
 
 // kickSource tries to begin injecting source src's head packet.
+// damqvet:hotpath
 func (s *Sim) kickSource(src int) {
 	now := s.eng.Now()
-	if len(s.srcQ[src]) == 0 || s.srcBusyUntil[src] > now {
+	q := &s.srcQ[src]
+	if q.Len() == 0 || s.srcBusyUntil[src] > now {
 		return
 	}
-	p := s.srcQ[src][0]
+	p := q.Front()
 	swIdx, port := s.top.FirstStageSwitch(src)
-	probe := *p
-	probe.OutPort = s.top.RouteDigit(p.Dest, 0)
-	if !s.bufs[0][swIdx][port].CanAccept(&probe) {
+	s.probe = *p
+	s.probe.OutPort = s.top.RouteDigit(p.Dest, 0)
+	if !s.bufs[0][swIdx][port].CanAccept(&s.probe) {
 		return // retried when the stage-0 buffer frees slots
 	}
-	s.srcQ[src][0] = nil
-	s.srcQ[src] = s.srcQ[src][1:]
+	q.PopFront()
 	dur := s.duration(p)
 	s.srcBusyUntil[src] = now + dur
-	p.OutPort = probe.OutPort
+	p.OutPort = s.probe.OutPort
 	p.ReadyAt = now + s.cfg.RouteDelay
 	p.Injected = now
 	if err := s.bufs[0][swIdx][port].Accept(p); err != nil {
 		panic(err)
 	}
-	s.eng.At(p.ReadyAt, func() { s.kickSwitch(0, swIdx) })
-	s.eng.At(now+dur, func() { s.kickSource(src) })
+	s.eng.At(p.ReadyAt, Event{kind: evKickSwitch, a: 0, b: int32(swIdx)})
+	s.eng.At(now+dur, Event{kind: evKickSource, a: int32(src)})
 }
 
 // kickSwitch runs the grant loop of one switch: every idle output picks
 // the longest ready, unblocked queue among buffers with read capacity.
 // A rotating offset breaks queue-length ties fairly across inputs.
+// damqvet:hotpath
 func (s *Sim) kickSwitch(st, sw int) {
 	now := s.eng.Now()
 	s.rr[st][sw]++
+	tx := s.transmitting[st][sw]
 	for out := 0; out < s.cfg.Radix; out++ {
 		if s.outBusyUntil[st][sw][out] > now {
 			continue
@@ -256,7 +308,7 @@ func (s *Sim) kickSwitch(st, sw int) {
 			if s.readCount[st][sw][in] >= b.MaxReadsPerCycle() {
 				continue
 			}
-			if s.transmitting[st][sw][[2]int{in, out}] {
+			if tx[in*s.cfg.Radix+out] {
 				continue
 			}
 			p := b.Head(out)
@@ -277,17 +329,19 @@ func (s *Sim) kickSwitch(st, sw int) {
 }
 
 // downstreamAccepts probes the next hop's buffer (blocking flow control).
+// damqvet:hotpath
 func (s *Sim) downstreamAccepts(st, sw, out int, p *packet.Packet) bool {
 	if st == s.top.Stages()-1 {
 		return true // sinks always accept
 	}
 	nsw, nport := s.top.NextStage(sw, out)
-	probe := *p
-	probe.OutPort = s.top.RouteDigit(p.Dest, st+1)
-	return s.bufs[st+1][nsw][nport].CanAccept(&probe)
+	s.probe = *p
+	s.probe.OutPort = s.top.RouteDigit(p.Dest, st+1)
+	return s.bufs[st+1][nsw][nport].CanAccept(&s.probe)
 }
 
 // startTx begins forwarding the head of (st, sw, in)'s queue for out.
+// damqvet:hotpath
 func (s *Sim) startTx(st, sw, in, out int) {
 	now := s.eng.Now()
 	b := s.bufs[st][sw][in]
@@ -295,40 +349,49 @@ func (s *Sim) startTx(st, sw, in, out int) {
 	dur := s.duration(p)
 	s.outBusyUntil[st][sw][out] = now + dur
 	s.readCount[st][sw][in]++
-	s.transmitting[st][sw][[2]int{in, out}] = true
+	s.transmitting[st][sw][in*s.cfg.Radix+out] = true
 
 	last := st == s.top.Stages()-1
 	if last {
-		s.eng.At(now+dur, func() { s.deliver(p) })
+		s.eng.At(now+dur, Event{kind: evDeliver, p: p})
 	} else {
 		// Reserve the downstream footprint now; the head becomes
 		// routable there after RouteDelay (cut-through: the downstream
 		// read chases this write). The downstream gets its own copy of
 		// the packet record: the original must stay unmodified in this
 		// switch's queue until the tail finishes leaving (completeTx),
-		// mirroring the bytes existing in both buffers at once.
+		// mirroring the bytes existing in both buffers at once. The copy
+		// comes from the allocator's free list and keeps the packet's
+		// identity — it is the same packet in flight, not a new birth.
 		nsw, nport := s.top.NextStage(sw, out)
-		np := *p
+		np := s.alloc.Clone(p)
 		np.OutPort = s.top.RouteDigit(p.Dest, st+1)
 		np.ReadyAt = now + s.cfg.RouteDelay
-		if err := s.bufs[st+1][nsw][nport].Accept(&np); err != nil {
+		if err := s.bufs[st+1][nsw][nport].Accept(np); err != nil {
 			panic(fmt.Sprintf("eventsim: downstream accept after probe: %v", err))
 		}
-		s.eng.At(np.ReadyAt, func() { s.kickSwitch(st+1, nsw) })
+		s.eng.At(np.ReadyAt, Event{kind: evKickSwitch, a: int32(st + 1), b: int32(nsw)})
 	}
 
-	s.eng.At(now+dur, func() { s.completeTx(st, sw, in, out) })
+	s.eng.At(now+dur, Event{kind: evCompleteTx, a: int32(st), b: int32(sw), c: int32(in), d: int32(out)})
 }
 
 // completeTx finishes a transmission: the packet's slots leave this
 // switch, the read port frees, and whoever was waiting gets another look.
+// damqvet:hotpath
 func (s *Sim) completeTx(st, sw, in, out int) {
 	b := s.bufs[st][sw][in]
-	if b.Pop(out) == nil {
+	p := b.Pop(out)
+	if p == nil {
 		panic("eventsim: completion found empty queue")
 	}
 	s.readCount[st][sw][in]--
-	delete(s.transmitting[st][sw], [2]int{in, out})
+	s.transmitting[st][sw][in*s.cfg.Radix+out] = false
+	// The record's bytes now live only downstream (or were delivered —
+	// deliver runs before completeTx at the same timestamp, having been
+	// scheduled first). Recycle the retired copy so a generation or hop
+	// can reuse it.
+	s.alloc.Recycle(p)
 	s.kickSwitch(st, sw)
 	// Freed slots unblock the upstream sender of this input port.
 	line := omega.Line(s.cfg.Radix, sw, in)
@@ -342,8 +405,12 @@ func (s *Sim) completeTx(st, sw, in, out int) {
 }
 
 // deliver records a packet's tail reaching its memory module.
+// damqvet:hotpath
 func (s *Sim) deliver(p *packet.Packet) {
 	now := s.eng.Now()
+	if s.onDeliver != nil {
+		s.onDeliver(p, now)
+	}
 	if s.res == nil || now < s.measureStart || now >= s.measureEnd {
 		return
 	}
@@ -367,15 +434,20 @@ func (s *Sim) InFlight() int {
 	return n
 }
 
-// Run executes warmup + measurement and returns the results.
-func (s *Sim) Run() *Result {
+// startSources plants every source's first generation event.
+func (s *Sim) startSources() {
 	for src := 0; src < s.cfg.Inputs; src++ {
 		s.scheduleGeneration(src)
 	}
+}
+
+// Run executes warmup + measurement and returns the results.
+func (s *Sim) Run() *Result {
+	s.startSources()
 	s.measureStart = s.cfg.Warmup
 	s.measureEnd = s.cfg.Warmup + s.cfg.Measure
 	s.res = &Result{Config: s.cfg}
-	s.eng.RunUntil(s.measureEnd)
+	s.runUntil(s.measureEnd)
 	s.res.LinkUtilization = float64(s.busyCycles) /
 		(float64(s.cfg.Inputs) * float64(s.cfg.Measure))
 	return s.res

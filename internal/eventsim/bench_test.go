@@ -1,0 +1,89 @@
+package eventsim
+
+// Per-event benchmarks for the asynchronous simulator, timed against
+// their legacy (seed-engine) twins. BenchmarkAsyncEvent and
+// BenchmarkAsyncExtension are in the BENCH_netsim.json regression gate
+// at 0 allocs/op; the Legacy pair exists only to regenerate the
+// before/after table in EXPERIMENTS.md E9 (run with -bench=Legacy).
+//
+// All four run sub-saturation (load 0.5): at saturation the source
+// backlogs grow without bound, so no engine could hold a steady-state
+// allocation plateau there. Below it, the arena, rings, and packet pool
+// reach their high-water marks during the untimed warmup and the timed
+// region recycles.
+
+import (
+	"testing"
+
+	"damq/internal/buffer"
+)
+
+// benchCfg is the shared workload: 64-input DAMQ Omega at half load.
+func benchCfg(minB, maxB int) Config {
+	return Config{
+		BufferKind: buffer.DAMQ,
+		Capacity:   8,
+		Load:       0.5,
+		MinBytes:   minB,
+		MaxBytes:   maxB,
+		Seed:       1988,
+	}
+}
+
+// benchAsync times the typed engine per executed event.
+func benchAsync(b *testing.B, minB, maxB int) {
+	sim, err := New(benchCfg(minB, maxB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.startSources()
+	// Reach steady state before the timer: backlog and pool high-water
+	// marks creep for tens of thousands of cycles (extreme values of the
+	// queueing random walk), after which event execution recycles
+	// through the arena and free lists without allocating.
+	sim.runUntil(30_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	executed := 0
+	limit := sim.eng.Now()
+	for executed < b.N {
+		limit += 256
+		executed += sim.runUntil(limit)
+	}
+}
+
+// benchLegacyAsync times the seed closure-and-container/heap engine on
+// the identical workload.
+func benchLegacyAsync(b *testing.B, minB, maxB int) {
+	sim, err := newLegacySim(benchCfg(minB, maxB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for src := 0; src < sim.cfg.Inputs; src++ {
+		sim.scheduleGeneration(src)
+	}
+	sim.eng.RunUntil(30_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	executed := 0
+	limit := sim.eng.Now()
+	for executed < b.N {
+		limit += 256
+		executed += sim.eng.RunUntil(limit)
+	}
+}
+
+// BenchmarkAsyncEvent is the fixed-length case (8-byte packets): pure
+// event-machinery cost, one op = one executed event.
+func BenchmarkAsyncEvent(b *testing.B) { benchAsync(b, 8, 8) }
+
+// BenchmarkAsyncExtension is the variable-length case (1-32 bytes), the
+// conclusion's asynchronous extension workload.
+func BenchmarkAsyncExtension(b *testing.B) { benchAsync(b, 1, 32) }
+
+// BenchmarkLegacyAsyncEvent is BenchmarkAsyncEvent on the seed engine.
+func BenchmarkLegacyAsyncEvent(b *testing.B) { benchLegacyAsync(b, 8, 8) }
+
+// BenchmarkLegacyAsyncExtension is BenchmarkAsyncExtension on the seed
+// engine.
+func BenchmarkLegacyAsyncExtension(b *testing.B) { benchLegacyAsync(b, 1, 32) }

@@ -2,19 +2,35 @@ package eventsim
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"damq/internal/buffer"
+	"damq/internal/rng"
 )
+
+// drain pops events at or before limit, appending their a-field markers
+// to *order, and returns how many it executed.
+func drain(e *Engine, limit int64, order *[]int) int {
+	n := 0
+	for {
+		ev, ok := e.PopUntil(limit)
+		if !ok {
+			return n
+		}
+		*order = append(*order, int(ev.a))
+		n++
+	}
+}
 
 func TestEngineOrdering(t *testing.T) {
 	var e Engine
 	var order []int
-	e.At(10, func() { order = append(order, 2) })
-	e.At(5, func() { order = append(order, 1) })
-	e.At(10, func() { order = append(order, 3) }) // same time: FIFO
-	e.At(20, func() { order = append(order, 4) })
-	n := e.RunUntil(15)
+	e.At(10, Event{a: 2})
+	e.At(5, Event{a: 1})
+	e.At(10, Event{a: 3}) // same time: FIFO
+	e.At(20, Event{a: 4})
+	n := drain(&e, 15, &order)
 	if n != 3 {
 		t.Fatalf("executed %d events", n)
 	}
@@ -29,7 +45,7 @@ func TestEngineOrdering(t *testing.T) {
 	if e.Pending() != 1 {
 		t.Fatalf("pending = %d", e.Pending())
 	}
-	e.RunUntil(100)
+	drain(&e, 100, &order)
 	if len(order) != 4 {
 		t.Fatal("remaining event not executed")
 	}
@@ -38,15 +54,16 @@ func TestEngineOrdering(t *testing.T) {
 func TestEngineCascade(t *testing.T) {
 	var e Engine
 	count := 0
-	var tick func()
-	tick = func() {
+	e.At(0, Event{})
+	for {
+		if _, ok := e.PopUntil(100); !ok {
+			break
+		}
 		count++
 		if count < 10 {
-			e.After(3, tick)
+			e.After(3, Event{})
 		}
 	}
-	e.At(0, tick)
-	e.RunUntil(100)
 	if count != 10 {
 		t.Fatalf("count = %d", count)
 	}
@@ -57,14 +74,104 @@ func TestEngineCascade(t *testing.T) {
 
 func TestEngineRejectsPast(t *testing.T) {
 	var e Engine
-	e.At(10, func() {})
-	e.RunUntil(10)
+	e.At(10, Event{})
+	e.PopUntil(10)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling into the past did not panic")
 		}
 	}()
-	e.At(5, func() {})
+	e.At(5, Event{})
+}
+
+// TestEngineSameTimestampFIFO is the scheduler's ordering property test:
+// a random event storm with heavy timestamp collisions must execute in
+// exactly the order a stable sort by time would give — i.e. same-time
+// events run in scheduling order, whatever the heap does internally.
+func TestEngineSameTimestampFIFO(t *testing.T) {
+	src := rng.New(42)
+	var e Engine
+	const n = 5000
+	type ref struct {
+		at  int64
+		idx int
+	}
+	scheduled := make([]ref, 0, n)
+	for i := 0; i < n; i++ {
+		at := int64(src.Intn(97)) // ~50 collisions per timestamp
+		e.At(at, Event{a: int32(i)})
+		scheduled = append(scheduled, ref{at, i})
+	}
+	sort.SliceStable(scheduled, func(i, j int) bool { return scheduled[i].at < scheduled[j].at })
+	var order []int
+	if got := drain(&e, 1<<40, &order); got != n {
+		t.Fatalf("executed %d of %d events", got, n)
+	}
+	for i, want := range scheduled {
+		if order[i] != want.idx {
+			t.Fatalf("position %d: got event %d, want %d (time %d)", i, order[i], want.idx, want.at)
+		}
+	}
+}
+
+// TestEngineStormMatchesReference interleaves random schedules and pops
+// (exercising the free list's slot reuse mid-run) against a brute-force
+// sort-stable reference queue.
+func TestEngineStormMatchesReference(t *testing.T) {
+	src := rng.New(7)
+	var e Engine
+	type ref struct {
+		at  int64
+		seq int
+	}
+	var pending []ref
+	seq := 0
+	for op := 0; op < 30000; op++ {
+		if src.Intn(5) > 1 || len(pending) == 0 { // push-biased
+			at := e.Now() + int64(src.Intn(50))
+			e.At(at, Event{a: int32(seq)})
+			pending = append(pending, ref{at, seq})
+			seq++
+			continue
+		}
+		// Reference pop: earliest (at, seq) wins.
+		best := 0
+		for i, r := range pending {
+			if r.at < pending[best].at || (r.at == pending[best].at && r.seq < pending[best].seq) {
+				best = i
+			}
+		}
+		want := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		ev, ok := e.PopUntil(want.at)
+		if !ok {
+			t.Fatalf("op %d: engine had no event at or before %d, reference has seq %d", op, want.at, want.seq)
+		}
+		if int(ev.a) != want.seq || e.Now() != want.at {
+			t.Fatalf("op %d: popped event %d at %d, want event %d at %d", op, ev.a, e.Now(), want.seq, want.at)
+		}
+	}
+}
+
+// TestEngineArenaHighWater checks the free list actually recycles: slot
+// arena growth must stop at the run's concurrency high-water mark, not
+// track the total number of events ever scheduled.
+func TestEngineArenaHighWater(t *testing.T) {
+	var e Engine
+	var order []int
+	for round := 0; round < 64; round++ {
+		base := e.Now()
+		for i := 0; i < 100; i++ {
+			e.At(base+int64(i%7), Event{a: int32(i)})
+		}
+		order = order[:0]
+		if got := drain(&e, base+7, &order); got != 100 {
+			t.Fatalf("round %d: executed %d of 100", round, got)
+		}
+	}
+	if len(e.slots) > 128 {
+		t.Fatalf("arena grew to %d slots for a 100-event working set", len(e.slots))
+	}
 }
 
 func asyncCfg(kind buffer.Kind, load float64) Config {

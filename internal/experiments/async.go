@@ -32,6 +32,34 @@ func asyncScale(sc Scale) (warmup, measure int64) {
 // per-hop virtual cut-through (4-cycle turn-around, Table 1's figure).
 func Async(sc Scale) ([]AsyncRow, error) {
 	warm, meas := asyncScale(sc)
+	return asyncRows(sc, func(load float64, minB, maxB int) (int64, int64) {
+		return warm, meas
+	})
+}
+
+// AsyncPackets runs E9 with each point's measurement span sized to
+// deliver roughly the given number of packets, instead of sc's fixed
+// cycle count: packet birth rate is inputs·load/E[duration] per cycle
+// (64 inputs, 3 overhead cycles, uniform payload sizes), so the window
+// is packets·E[duration]/(inputs·load) cycles. This decouples statistical
+// weight from wall-clock across loads and length distributions — the
+// `omegasim -exp async -packets N` knob. packets <= 0 falls back to
+// Async's spans.
+func AsyncPackets(sc Scale, packets int64) ([]AsyncRow, error) {
+	if packets <= 0 {
+		return Async(sc)
+	}
+	warm, _ := asyncScale(sc)
+	return asyncRows(sc, func(load float64, minB, maxB int) (int64, int64) {
+		meanDur := 3 + float64(minB+maxB)/2
+		meas := int64(float64(packets)*meanDur/(64*load)) + 1
+		return warm, meas
+	})
+}
+
+// asyncRows runs the E9 spec grid, asking spans for each point's warmup
+// and measurement windows.
+func asyncRows(sc Scale, spans func(load float64, minB, maxB int) (int64, int64)) ([]AsyncRow, error) {
 	kinds := []buffer.Kind{buffer.FIFO, buffer.DAMQ}
 	type asyncSpec struct {
 		kind       buffer.Kind
@@ -49,6 +77,7 @@ func Async(sc Scale) ([]AsyncRow, error) {
 	}
 	results, err := parallel.Map(len(specs), sc.Workers, func(i int) (*eventsim.Result, error) {
 		s := specs[i]
+		warm, meas := spans(s.load, s.minB, s.maxB)
 		sim, err := eventsim.New(eventsim.Config{
 			BufferKind: s.kind,
 			Capacity:   8,

@@ -113,6 +113,27 @@ func (a *Alloc) New(source, dest, slots int, born int64) *Packet {
 	return p
 }
 
+// Clone returns a copy of src drawn from the free list (or fresh if the
+// list is empty), every field equal — including ID, which is deliberately
+// not re-issued: a clone is the same packet duplicated across a
+// cut-through hop, not a new birth, so Issued and the ID stream are
+// untouched. The event-driven simulator clones a packet into the next
+// stage's buffer while the original's tail is still draining out of the
+// current one.
+// damqvet:hotpath
+func (a *Alloc) Clone(src *Packet) *Packet {
+	var p *Packet
+	if n := len(a.free); n > 0 {
+		p = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	} else {
+		p = new(Packet)
+	}
+	*p = *src
+	return p
+}
+
 // Recycle returns a retired packet to the free list. The caller must hold
 // the only remaining reference: the packet will be handed out again by a
 // future New with all fields rewritten.

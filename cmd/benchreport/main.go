@@ -5,16 +5,18 @@
 // baseline; regenerate it after intentional performance work with:
 //
 //	go run ./cmd/benchreport -pkg ./... \
-//	    -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket|BenchmarkAsyncEvent|BenchmarkAsyncExtension' \
-//	    -count 5 -notime 'Sharded|1024' -out BENCH_netsim.json
+//	    -bench 'BenchmarkNetworkCycle|BenchmarkChipNetworkPacket|BenchmarkAsyncEvent|BenchmarkAsyncExtension|BenchmarkDamqvetAnalysis' \
+//	    -count 5 -notime 'Sharded|1024|Damqvet' -out BENCH_netsim.json
 //
 // The regex spans packages (the async event-engine benchmarks live in
-// internal/eventsim), so -pkg is ./...; entries fold by benchmark name,
-// which therefore must stay unique across the repository.
+// internal/eventsim, the analyzer benchmark in cmd/damqvet), so -pkg is
+// ./...; entries fold by benchmark name, which therefore must stay
+// unique across the repository.
 //
 // -notime names benchmarks whose wall-clock is not comparable across
 // machines — the multi-worker sharded benchmarks, whose ns/op depends on
-// the core count of whatever ran them. Matching entries record -1 ns/op
+// the core count of whatever ran them, and the damqvet analysis pass,
+// whose ns/op scales with fixture size. Matching entries record -1 ns/op
 // (so -check skips the time gate for them) while their B/op and
 // allocs/op stay recorded and gated exactly like everything else.
 //

@@ -3,118 +3,162 @@ package main
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
-// The three source annotations damqvet understands:
+// The source annotations damqvet understands. Each one is either an
+// obligation marker or a waiver:
 //
-//	// damqvet:hotpath — this function (or function literal) is on a
-//	0-allocs/op benchmark path; the zeroalloc rules apply to its body.
+//   - "hotpath" marks a function (or function literal) as being on a
+//     0-allocs/op benchmark path. The zeroalloc rules apply to its body
+//     and, transitively, to every function it can reach through the
+//     static call graph.
 //
-//	// damqvet:ordered — this range-over-map has been audited: its
-//	result does not depend on iteration order. The determinism rule
-//	accepts the loop without further analysis.
+//   - "ordered" waives one range-over-map after an audit: its result
+//     does not depend on iteration order. The determinism rule accepts
+//     the loop, and the taint pass stops treating the loop variables as
+//     an order-taint source.
 //
-//	// damqvet:sharded — this shard method has been audited: the
-//	coordinator-state writes in its body are barrier-owned (they run in
-//	a serial section, or every shard writes a disjoint slot). The
-//	sharded-determinism rule accepts the function without further
-//	analysis.
+//   - "sharded" waives one shard method after an audit: the
+//     coordinator-state writes in (or reachable from) its body are
+//     barrier-owned. The phase-safety rule accepts the function.
+//
+//   - "coldcall" waives one call line inside a hot-reachable body after
+//     an audit: the callee allocates only on an amortized or aborting
+//     path (pool refill, ring growth). The transitive zeroalloc pass
+//     does not descend through calls on that line and suppresses alloc
+//     findings on it.
 //
 // A marker applies to the node that starts on the same line (trailing
 // comment) or on the line immediately below the marker; for function
-// declarations, a marker anywhere in the doc comment also counts.
+// declarations, a marker anywhere in the doc comment also counts. The
+// waiver-audit family cross-checks the inventory: a marker that attaches
+// to nothing, a waiver that suppresses nothing, and an unknown
+// "damqvet:" spelling are all findings, so annotations cannot rot.
 const (
-	markHotpath = "damqvet:hotpath"
-	markOrdered = "damqvet:ordered"
-	markSharded = "damqvet:sharded"
+	markHotpath  = "hotpath"
+	markOrdered  = "ordered"
+	markSharded  = "sharded"
+	markColdcall = "coldcall"
 )
 
-// fileAnnots records, per marker kind, the source lines carrying one.
+const markPrefix = "damqvet:"
+
+// knownMarks lists every recognized marker kind.
+var knownMarks = []string{markHotpath, markOrdered, markSharded, markColdcall}
+
+// marker is one damqvet annotation comment, with the audit state the
+// waiver family reports on: whether any rule pass attached it to a node,
+// and whether it suppressed at least one would-be finding.
+type marker struct {
+	kind       string // one of knownMarks, or the raw unknown spelling
+	known      bool
+	pos        token.Pos
+	line       int
+	attached   bool
+	suppressed bool
+}
+
+// fileAnnots indexes one file's markers by source line.
 type fileAnnots struct {
-	hotpath map[int]bool
-	ordered map[int]bool
-	sharded map[int]bool
+	byLine map[int]*marker
+	all    []*marker
 }
 
 // collectAnnots scans a file's comments for damqvet markers. A marker
 // must be the first token of its comment; trailing justification text
-// ("// damqvet:ordered keys feed a histogram") is allowed and encouraged.
-func collectAnnots(fset *token.FileSet, f *ast.File) fileAnnots {
-	a := fileAnnots{hotpath: map[int]bool{}, ordered: map[int]bool{}, sharded: map[int]bool{}}
+// ("// damqvet:ordered keys feed a histogram") is allowed and
+// encouraged. Unknown kinds are collected too — the waiver audit turns
+// them into findings instead of silently ignoring a typo.
+func collectAnnots(fset *token.FileSet, f *ast.File) *fileAnnots {
+	a := &fileAnnots{byLine: map[int]*marker{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-			line := fset.Position(c.Pos()).Line
-			switch {
-			case isMarker(text, markHotpath):
-				a.hotpath[line] = true
-			case isMarker(text, markOrdered):
-				a.ordered[line] = true
-			case isMarker(text, markSharded):
-				a.sharded[line] = true
+			rest, ok := strings.CutPrefix(text, markPrefix)
+			if !ok {
+				continue
 			}
+			kind := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				kind = rest[:i]
+			}
+			m := &marker{kind: kind, pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			for _, k := range knownMarks {
+				if kind == k {
+					m.known = true
+				}
+			}
+			a.byLine[m.line] = m
+			a.all = append(a.all, m)
 		}
 	}
 	return a
 }
 
-// isMarker reports whether text begins with the marker as a whole token.
-func isMarker(text, marker string) bool {
-	if !strings.HasPrefix(text, marker) {
-		return false
-	}
-	rest := text[len(marker):]
-	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
-}
-
-// appliesTo reports whether a marker recorded in marks governs a node
-// starting at nodeLine.
-func appliesTo(marks map[int]bool, nodeLine int) bool {
-	return marks[nodeLine] || marks[nodeLine-1]
-}
-
-// docHasMarker reports whether a doc comment group contains the marker.
-func docHasMarker(doc *ast.CommentGroup, marker string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-		if isMarker(text, marker) {
-			return true
+// markerFor returns the marker of the given kind governing a node that
+// starts at nodeLine — same line (trailing comment) or the line
+// immediately above — marking it attached. Nil when the node carries no
+// such marker.
+func (a *fileAnnots) markerFor(kind string, nodeLine int) *marker {
+	for _, line := range [2]int{nodeLine, nodeLine - 1} {
+		if m := a.byLine[line]; m != nil && m.kind == kind {
+			m.attached = true
+			return m
 		}
 	}
-	return false
+	return nil
 }
 
-// isHotpathFunc reports whether a function declaration is annotated as a
-// hot path (doc marker, or marker on/above its first line).
-func isHotpathFunc(ann fileAnnots, fset *token.FileSet, decl *ast.FuncDecl) bool {
-	if docHasMarker(decl.Doc, markHotpath) {
-		return true
+// markerInDoc returns the marker of the given kind inside a doc comment
+// group, marking it attached. Nil when the group carries none.
+func (a *fileAnnots) markerInDoc(fset *token.FileSet, doc *ast.CommentGroup, kind string) *marker {
+	if doc == nil {
+		return nil
 	}
-	return appliesTo(ann.hotpath, fset.Position(decl.Pos()).Line)
-}
-
-// isHotpathLit reports whether a function literal is annotated as a hot
-// path via a marker on its own line or the line above (the annotated
-// anonymous function case).
-func isHotpathLit(ann fileAnnots, fset *token.FileSet, lit *ast.FuncLit) bool {
-	return appliesTo(ann.hotpath, fset.Position(lit.Pos()).Line)
-}
-
-// isOrderedWaiver reports whether a range statement carries the ordered
-// waiver.
-func isOrderedWaiver(ann fileAnnots, fset *token.FileSet, pos token.Pos) bool {
-	return appliesTo(ann.ordered, fset.Position(pos).Line)
-}
-
-// isShardedFunc reports whether a function declaration carries the
-// sharded waiver (doc marker, or marker on/above its first line).
-func isShardedFunc(ann fileAnnots, fset *token.FileSet, decl *ast.FuncDecl) bool {
-	if docHasMarker(decl.Doc, markSharded) {
-		return true
+	for _, c := range doc.List {
+		line := fset.Position(c.Pos()).Line
+		if m := a.byLine[line]; m != nil && m.kind == kind {
+			m.attached = true
+			return m
+		}
 	}
-	return appliesTo(ann.sharded, fset.Position(decl.Pos()).Line)
+	return nil
+}
+
+// funcMarker returns the marker of the given kind on a function
+// declaration: in its doc comment, or on/above its first line.
+func (a *fileAnnots) funcMarker(fset *token.FileSet, fd *ast.FuncDecl, kind string) *marker {
+	if m := a.markerInDoc(fset, fd.Doc, kind); m != nil {
+		return m
+	}
+	return a.markerFor(kind, fset.Position(fd.Pos()).Line)
+}
+
+// auditWaivers reports the waiver-family findings over every collected
+// marker: unknown spellings, markers that attached to nothing, and
+// waivers that suppressed nothing. Obligation markers (hotpath) only
+// need to attach; the waiver kinds must also have suppressed at least
+// one would-be finding, or they are stale and the audit fails them so
+// the inventory cannot rot.
+func (c *Checker) auditWaivers() {
+	var all []*marker
+	for _, a := range c.annots {
+		all = append(all, a.all...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].pos < all[j].pos })
+	for _, m := range all {
+		switch {
+		case !m.known:
+			c.report(m.pos, ruleWaiver,
+				"unknown annotation %s%s (known: %s)", markPrefix, m.kind, strings.Join(knownMarks, ", "))
+		case !m.attached:
+			c.report(m.pos, ruleWaiver,
+				"%s%s attaches to nothing; move it onto (or directly above) the construct it governs, or delete it", markPrefix, m.kind)
+		case m.kind != markHotpath && !m.suppressed:
+			c.report(m.pos, ruleWaiver,
+				"stale %s%s waiver: it suppresses no finding; delete it or re-audit the code below", markPrefix, m.kind)
+		}
+	}
 }

@@ -52,7 +52,7 @@ func Ranges(m map[string]int) int {
 }
 `
 
-func parseAnnotSrc(t *testing.T) (*token.FileSet, *ast.File, fileAnnots) {
+func parseAnnotSrc(t *testing.T) (*token.FileSet, *ast.File, *fileAnnots) {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "annot.go", annotSrc, parser.ParseComments)
@@ -69,7 +69,7 @@ func TestHotpathDecls(t *testing.T) {
 	got := map[string]bool{}
 	for _, d := range f.Decls {
 		if fd, ok := d.(*ast.FuncDecl); ok {
-			got[fd.Name.Name] = isHotpathFunc(ann, fset, fd)
+			got[fd.Name.Name] = ann.funcMarker(fset, fd, markHotpath) != nil
 		}
 	}
 	expect := map[string]bool{
@@ -83,7 +83,7 @@ func TestHotpathDecls(t *testing.T) {
 	}
 	for name, want := range expect {
 		if got[name] != want {
-			t.Errorf("isHotpathFunc(%s) = %v, want %v", name, got[name], want)
+			t.Errorf("hotpath marker on %s = %v, want %v", name, got[name], want)
 		}
 	}
 }
@@ -100,13 +100,14 @@ func TestHotpathLits(t *testing.T) {
 			return true
 		}
 		nLits++
+		marked := ann.markerFor(markHotpath, fset.Position(lit.Pos()).Line) != nil
 		switch line := fset.Position(lit.Pos()).Line; line {
 		case 20:
-			hot = isHotpathLit(ann, fset, lit)
+			hot = marked
 		case 21:
-			cold = isHotpathLit(ann, fset, lit)
+			cold = marked
 		case 26:
-			sameLine = isHotpathLit(ann, fset, lit)
+			sameLine = marked
 		}
 		return true
 	})
@@ -131,7 +132,7 @@ func TestOrderedWaivers(t *testing.T) {
 	var got []bool
 	ast.Inspect(f, func(n ast.Node) bool {
 		if rs, ok := n.(*ast.RangeStmt); ok {
-			got = append(got, isOrderedWaiver(ann, fset, rs.Pos()))
+			got = append(got, ann.markerFor(markOrdered, fset.Position(rs.Pos()).Line) != nil)
 		}
 		return true
 	})
@@ -143,5 +144,35 @@ func TestOrderedWaivers(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("range #%d: waiver = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestMarkerInventory covers the audit bookkeeping collectAnnots feeds:
+// unknown spellings are collected (not dropped), and markerFor records
+// attachment.
+func TestMarkerInventory(t *testing.T) {
+	_, _, ann := parseAnnotSrc(t)
+	var unknown []*marker
+	for _, m := range ann.all {
+		if !m.known {
+			unknown = append(unknown, m)
+		}
+	}
+	if len(unknown) != 1 || unknown[0].kind != "hotpathological" {
+		t.Fatalf("expected exactly the hotpathological lookalike as unknown, got %+v", unknown)
+	}
+	attached := 0
+	for _, m := range ann.all {
+		if m.attached {
+			attached++
+		}
+	}
+	// The decl/lit/range tests above ran in their own collectAnnots; this
+	// one is fresh, so nothing is attached until markerFor is called.
+	if attached != 0 {
+		t.Fatalf("fresh inventory should have no attachments, got %d", attached)
+	}
+	if m := ann.markerFor(markOrdered, 33); m == nil || !m.attached {
+		t.Fatal("markerFor should attach the ordered waiver above the first range loop")
 	}
 }

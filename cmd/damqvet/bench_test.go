@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// BenchmarkDamqvetAnalysis measures one full analysis pass — call-graph
+// construction plus all six rule families — over the pre-loaded fixture
+// module. Parsing and type-checking stay outside the loop, so allocs/op
+// reflects only the analysis engine and is deterministic; the benchreport
+// baseline gates it exactly, while its wall clock is recorded with
+// -notime (it scales with fixture size, not simulator performance).
+func BenchmarkDamqvetAnalysis(b *testing.B) {
+	l, pkgs := loadFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		c, err := NewChecker(l.Fset, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.SimAll = true
+		for _, p := range pkgs {
+			c.Add(p)
+		}
+		c.Finish()
+		if len(c.Findings) == 0 {
+			b.Fatal("analysis produced no findings over the fixtures")
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The whole-program layer. The per-function rule families of the first
+// damqvet could not see cross-function facts: a hotpath body calling an
+// allocating helper, a shard phase mutating coordinator state through a
+// callee, wall-clock readings laundered through a return value. This
+// file builds the structure they all share — a go/types-resolved static
+// call graph over every loaded package — and the interprocedural passes
+// (zeroalloc.go, shard.go, taint.go) layer their summaries on top.
+
+// funcNode is one function of the program: a declared function or
+// method, or a damqvet:hotpath-annotated function literal (which is a
+// propagation root of its own).
+type funcNode struct {
+	pkg  *Package
+	ann  *fileAnnots
+	obj  *types.Func   // nil for annotated literals
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+
+	hot     *marker // the hotpath obligation marker, or nil
+	sharded *marker // the sharded waiver marker, or nil
+
+	calls []*callSite // static call edges, in source order
+
+	// Analysis caches, owned by the passes that fill them.
+	alloc *allocScan // zeroalloc.go
+	mut   *mutFacts  // shard.go
+	taint *taintFact // taint.go; taintDone marks the memo valid
+	taintDone,
+	taintBusy bool
+}
+
+// name renders the node for chain messages: Func, Type.Method, or — for
+// a node outside the package the message is anchored in — the
+// pkg-qualified form.
+func (n *funcNode) name(from *Package) string {
+	var base string
+	switch {
+	case n.obj != nil && recvOf(n.obj) != nil:
+		base = recvTypeName(recvOf(n.obj).Type()) + "." + n.obj.Name()
+	case n.obj != nil:
+		base = n.obj.Name()
+	default:
+		base = fmt.Sprintf("func@line%d", n.pkg.Fset().Position(n.lit.Pos()).Line)
+	}
+	if from != nil && n.pkg != from {
+		return n.pkg.Pkg.Name() + "." + base
+	}
+	return base
+}
+
+// qname always package-qualifies the node name; the taint chains cross
+// packages by nature, so their links read pkg.Func everywhere.
+func (n *funcNode) qname() string {
+	return n.pkg.Pkg.Name() + "." + n.name(n.pkg)
+}
+
+// Fset returns the file set the package was parsed with (all packages
+// share the loader's).
+func (p *Package) Fset() *token.FileSet { return p.fset }
+
+// recvOf returns a function's receiver variable, or nil.
+func recvOf(fn *types.Func) *types.Var {
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		return sig.Recv()
+	}
+	return nil
+}
+
+// recvTypeName strips the pointer and package path off a receiver type.
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// callSite is one static call edge out of a funcNode.
+type callSite struct {
+	call   *ast.CallExpr
+	callee *types.Func // resolved static callee (module or stdlib)
+	node   *funcNode   // module-internal callee node, nil for stdlib
+	// boundRecv is the receiver expression a method value was bound
+	// with (`f := sh.sim.bump; f()` records sh.sim), so the phase rule
+	// can see through the indirection. Nil for ordinary calls, whose
+	// receiver is in call.Fun.
+	boundRecv ast.Expr
+}
+
+// graph is the static call graph over every package the checker loaded.
+type graph struct {
+	c     *Checker
+	nodes []*funcNode // deterministic order: package path, then position
+	byObj map[*types.Func]*funcNode
+}
+
+// buildGraph creates the nodes and resolves the static call edges.
+func buildGraph(c *Checker) *graph {
+	g := &graph{c: c, byObj: map[*types.Func]*funcNode{}}
+	for _, p := range c.pkgs {
+		for _, f := range p.Files {
+			ann := c.annots[f]
+			var declNodes []*funcNode
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &funcNode{
+					pkg: p, ann: ann, obj: obj, decl: fd, body: fd.Body,
+					hot:     ann.funcMarker(c.Fset, fd, markHotpath),
+					sharded: ann.funcMarker(c.Fset, fd, markSharded),
+				}
+				g.nodes = append(g.nodes, n)
+				g.byObj[obj] = n
+				declNodes = append(declNodes, n)
+			}
+			// Annotated function literals outside hot declarations are
+			// propagation roots of their own (a probe installed into a
+			// struct field at construction time).
+			ast.Inspect(f, func(nd ast.Node) bool {
+				if fd, ok := nd.(*ast.FuncDecl); ok {
+					for _, dn := range declNodes {
+						if dn.decl == fd && dn.hot != nil {
+							return false
+						}
+					}
+					return true
+				}
+				lit, ok := nd.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if m := ann.markerFor(markHotpath, c.Fset.Position(lit.Pos()).Line); m != nil {
+					g.nodes = append(g.nodes, &funcNode{
+						pkg: p, ann: ann, lit: lit, body: lit.Body, hot: m,
+					})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	for _, n := range g.nodes {
+		g.resolveCalls(n)
+	}
+	return g
+}
+
+// boundTarget is a function value a local was bound to.
+type boundTarget struct {
+	fn   *types.Func
+	recv ast.Expr // method-value receiver, nil for plain functions
+}
+
+// resolveCalls walks one body and records every call whose callee can be
+// resolved statically: direct function calls, method calls, and calls
+// through locals bound to a function identifier or a method value.
+// Calls through interfaces, struct fields, channels, or returned
+// function values stay unresolved — the rule passes treat those edges
+// as invisible, which is why hot paths prefer direct dispatch.
+func (g *graph) resolveCalls(n *funcNode) {
+	info := n.pkg.Info
+	bindings := collectFuncBindings(info, n.body)
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch o := objOf(info, fun).(type) {
+			case *types.Func:
+				g.addCall(n, call, o, nil)
+			case *types.Var:
+				for _, t := range bindings[o] {
+					g.addCall(n, call, t.fn, t.recv)
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := objOf(info, fun.Sel).(*types.Func); ok {
+				g.addCall(n, call, fn, nil)
+			}
+		}
+		return true
+	})
+}
+
+func (g *graph) addCall(n *funcNode, call *ast.CallExpr, fn *types.Func, boundRecv ast.Expr) {
+	n.calls = append(n.calls, &callSite{
+		call: call, callee: fn, node: g.byObj[fn], boundRecv: boundRecv,
+	})
+}
+
+// collectFuncBindings maps locals to the function values they were
+// bound from: `f := helper`, `f := sh.sim.bump` (a method value, whose
+// receiver expression is kept), and one-step copies `h := f`. Runs to a
+// small fixpoint like the alias collectors.
+func collectFuncBindings(info *types.Info, body *ast.BlockStmt) map[types.Object][]boundTarget {
+	bindings := map[types.Object][]boundTarget{}
+	for range 4 {
+		changed := false
+		ast.Inspect(body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				lo := objOf(info, lid)
+				if lo == nil {
+					continue
+				}
+				var ts []boundTarget
+				switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+				case *ast.Ident:
+					switch o := objOf(info, rhs).(type) {
+					case *types.Func:
+						ts = []boundTarget{{fn: o}}
+					case *types.Var:
+						ts = bindings[o]
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[rhs]; ok && sel.Kind() == types.MethodVal {
+						if fn, ok := sel.Obj().(*types.Func); ok {
+							ts = []boundTarget{{fn: fn, recv: rhs.X}}
+						}
+					} else if fn, ok := objOf(info, rhs.Sel).(*types.Func); ok {
+						ts = []boundTarget{{fn: fn}}
+					}
+				}
+				for _, t := range ts {
+					dup := false
+					for _, have := range bindings[lo] {
+						if have.fn == t.fn {
+							dup = true
+						}
+					}
+					if !dup {
+						bindings[lo] = append(bindings[lo], t)
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return bindings
+}
+
+// chainString renders a call chain for a finding message.
+func chainString(chain []string) string {
+	return strings.Join(chain, " -> ")
+}

@@ -9,29 +9,39 @@ import (
 	"strings"
 )
 
-// Rule family names, selectable via -rules.
+// Rule family names, selectable via -rules. determinism, zeroalloc, and
+// structure are the per-function families of the first damqvet; phase,
+// taint, and waiver are the whole-program families layered on the call
+// graph (callgraph.go). zeroalloc is listed with the interprocedural
+// group because its obligation propagation is transitive too.
 const (
 	ruleDeterminism = "determinism"
+	rulePhase       = "phase"
+	ruleTaint       = "taint"
 	ruleZeroalloc   = "zeroalloc"
 	ruleStructure   = "structure"
+	ruleWaiver      = "waiver"
 )
 
 // AllRules lists every rule family in reporting order.
-var AllRules = []string{ruleDeterminism, ruleZeroalloc, ruleStructure}
+var AllRules = []string{ruleDeterminism, rulePhase, ruleTaint, ruleZeroalloc, ruleStructure, ruleWaiver}
 
-// Finding is one rule violation.
+// Finding is one rule violation. Chain names the call path behind an
+// interprocedural finding, annotated root first; nil for findings the
+// source line explains on its own.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos   token.Position
+	Rule  string
+	Msg   string
+	Chain []string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
 }
 
-// Checker runs the enabled rule families over loaded packages and
-// accumulates findings.
+// Checker accumulates packages via Add and runs the enabled rule
+// families over the whole program in Finish.
 type Checker struct {
 	Fset  *token.FileSet
 	Rules map[string]bool
@@ -41,9 +51,14 @@ type Checker struct {
 	SimAll bool
 
 	Findings []Finding
+
+	pkgs   []*Package
+	annots map[*ast.File]*fileAnnots
 }
 
-// NewChecker enables the given rule families (nil or empty = all).
+// NewChecker enables the given rule families (nil or empty = all). The
+// waiver audit judges markers by what the other families did with them,
+// so it can only run alongside the full set.
 func NewChecker(fset *token.FileSet, rules []string) (*Checker, error) {
 	c := &Checker{Fset: fset, Rules: map[string]bool{}}
 	if len(rules) == 0 {
@@ -61,19 +76,49 @@ func NewChecker(fset *token.FileSet, rules []string) (*Checker, error) {
 		}
 		c.Rules[r] = true
 	}
+	if c.Rules[ruleWaiver] && len(c.Rules) != len(AllRules) {
+		return nil, fmt.Errorf("the waiver audit needs every family's attachment records; run it with all rules enabled")
+	}
 	return c, nil
 }
 
-// Check runs every enabled rule family over one package.
-func (c *Checker) Check(p *Package) {
-	if c.Rules[ruleDeterminism] {
-		c.determinism(p)
+// Add registers one loaded package for the Finish pass.
+func (c *Checker) Add(p *Package) {
+	c.pkgs = append(c.pkgs, p)
+}
+
+// Finish runs every enabled rule family over the added packages. The
+// per-package families go first; then the call graph is built once and
+// the interprocedural families run over it; the waiver audit reads the
+// attachment/suppression records everything else left behind, so it is
+// always last.
+func (c *Checker) Finish() {
+	c.annots = map[*ast.File]*fileAnnots{}
+	for _, p := range c.pkgs {
+		for _, f := range p.Files {
+			c.annots[f] = collectAnnots(c.Fset, f)
+		}
+	}
+	g := buildGraph(c)
+	for _, p := range c.pkgs {
+		if c.Rules[ruleDeterminism] {
+			c.determinism(p)
+		}
+		if c.Rules[ruleStructure] {
+			c.structure(p)
+		}
 	}
 	if c.Rules[ruleZeroalloc] {
-		c.zeroalloc(p)
+		c.zeroallocPass(g)
 	}
-	if c.Rules[ruleStructure] {
-		c.structure(p)
+	if c.Rules[rulePhase] {
+		c.phasePass(g)
+	}
+	if c.Rules[ruleTaint] {
+		c.taintPass(g)
+	}
+	if c.Rules[ruleWaiver] {
+		c.auditWaivers()
 	}
 }
 
@@ -98,6 +143,16 @@ func (c *Checker) report(pos token.Pos, rule, format string, args ...any) {
 		Pos:  c.Fset.Position(pos),
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportChain records an interprocedural finding with its call chain.
+func (c *Checker) reportChain(pos token.Pos, rule string, chain []string, format string, args ...any) {
+	c.Findings = append(c.Findings, Finding{
+		Pos:   c.Fset.Position(pos),
+		Rule:  rule,
+		Msg:   fmt.Sprintf(format, args...),
+		Chain: append([]string(nil), chain...),
 	})
 }
 
@@ -144,8 +199,9 @@ func isParallelPackage(path string) bool {
 // ---------------------------------------------------------------------------
 // Shared AST/type helpers.
 
-// rootIdent unwraps selectors, indexes, slices, parens, and derefs down
-// to the base identifier of an lvalue-ish expression (s.active[st] -> s).
+// rootIdent unwraps selectors, indexes, slices, parens, derefs, and
+// address-of down to the base identifier of an lvalue-ish expression
+// (s.active[st] -> s, &s.count -> s).
 func rootIdent(e ast.Expr) *ast.Ident {
 	for {
 		switch x := e.(type) {
@@ -160,6 +216,11 @@ func rootIdent(e ast.Expr) *ast.Ident {
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
 			e = x.X
 		case *ast.CallExpr:
 			// e.g. f().x — no stable root.

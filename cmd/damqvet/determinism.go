@@ -9,18 +9,18 @@ import (
 
 // determinism enforces the byte-identical-output invariant inside the
 // simulation/experiment packages: no map-order-dependent iteration, no
-// wall-clock reads, no process-global randomness, no ad-hoc goroutines
-// (concurrency is routed through internal/parallel, which merges results
-// in deterministic order), and no coordinator-state writes from shard
-// methods outside barrier-owned sections (shard.go).
+// wall-clock reads, no process-global randomness, and no ad-hoc
+// goroutines (concurrency is routed through internal/parallel, which
+// merges results in deterministic order). The cross-function halves of
+// the invariant live in the interprocedural families: phase safety in
+// shard.go, laundered nondeterminism in taint.go.
 func (c *Checker) determinism(p *Package) {
 	if !c.isSimPackage(p.Path) {
 		return
 	}
 	par := isParallelPackage(p.Path)
 	for _, f := range p.Files {
-		ann := collectAnnots(c.Fset, f)
-		c.checkShardWrites(p, ann, f)
+		ann := c.annots[f]
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if path == "math/rand" || path == "math/rand/v2" {
@@ -59,8 +59,10 @@ func (c *Checker) determinism(p *Package) {
 // unless the loop is provably order-insensitive, feeds a sorted key
 // slice, or carries a // damqvet:ordered waiver. The list is needed (not
 // just the statement) so the keys-sorted pattern can look at later
-// siblings for the sort call.
-func (c *Checker) checkMapRanges(p *Package, ann fileAnnots, list []ast.Stmt) {
+// siblings for the sort call. The waiver is consulted only after the
+// structural outs, so a waiver on a loop the rule would have accepted
+// anyway earns no suppression credit and the audit reports it as stale.
+func (c *Checker) checkMapRanges(p *Package, ann *fileAnnots, list []ast.Stmt) {
 	for i, st := range list {
 		for {
 			ls, ok := st.(*ast.LabeledStmt)
@@ -80,13 +82,15 @@ func (c *Checker) checkMapRanges(p *Package, ann fileAnnots, list []ast.Stmt) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			continue
 		}
-		if isOrderedWaiver(ann, c.Fset, rs.Pos()) {
-			continue
-		}
+		waiver := ann.markerFor(markOrdered, c.Fset.Position(rs.Pos()).Line)
 		if orderInsensitiveBody(rs.Body) {
 			continue
 		}
 		if keysSortedAfter(p.Info, rs, list[i+1:]) {
+			continue
+		}
+		if waiver != nil {
+			waiver.suppressed = true
 			continue
 		}
 		c.report(rs.Pos(), ruleDeterminism,

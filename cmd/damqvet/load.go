@@ -21,6 +21,7 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	fset  *token.FileSet
 }
 
 // Loader parses and type-checks the packages of one module using only the
@@ -123,7 +124,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
+	p := &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info, fset: l.Fset}
 	l.byPath[path] = p
 	return p, nil
 }

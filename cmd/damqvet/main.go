@@ -1,19 +1,21 @@
 // Command damqvet is the repo's design-rule checker: a dependency-free
 // static analyzer (stdlib go/parser + go/types only) that enforces the
-// simulator's determinism and zero-allocation invariants at the source
-// level. See DESIGN.md, "Machine-checked invariants".
+// simulator's determinism, phase-safety, and zero-allocation invariants
+// at the source level — including the cross-function forms, via a
+// whole-program call graph. See DESIGN.md, "Machine-checked invariants".
 //
 // Usage:
 //
-//	go run ./cmd/damqvet [-rules determinism,zeroalloc,structure] [packages]
+//	go run ./cmd/damqvet [-rules determinism,phase,taint,zeroalloc,structure,waiver] [-json] [packages]
 //
 // Package patterns accept ./..., dir/..., directories, and full import
 // paths; the default is ./... from the enclosing module root. Findings
-// print as file:line: rule-name: message and make the exit status 1;
-// load or usage errors exit 2.
+// print as file:line: rule-name: message (or as byte-stable JSON records
+// with -json) and make the exit status 1; load or usage errors exit 2.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,16 +25,28 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated rule families to run: determinism, zeroalloc, structure (default all)")
+	rules := flag.String("rules", "", "comma-separated rule families to run: determinism, phase, taint, zeroalloc, structure, waiver (default all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: damqvet [-rules list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: damqvet [-rules list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*rules, flag.Args(), os.Stdout, os.Stderr))
+	os.Exit(run(*rules, *jsonOut, flag.Args(), os.Stdout, os.Stderr))
 }
 
-func run(rules string, patterns []string, out, errw io.Writer) int {
+// jsonFinding is the -json record shape. Field order, the module-rooted
+// forward-slash file path, and the sorted finding order together make
+// the output byte-stable across machines and runs.
+type jsonFinding struct {
+	Rule  string   `json:"rule"`
+	File  string   `json:"file"`
+	Line  int      `json:"line"`
+	Msg   string   `json:"msg"`
+	Chain []string `json:"chain,omitempty"`
+}
+
+func run(rules string, jsonOut bool, patterns []string, out, errw io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -70,16 +84,42 @@ func run(rules string, patterns []string, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "damqvet:", err)
 			return 2
 		}
-		checker.Check(p)
+		checker.Add(p)
 	}
+	checker.Finish()
+
 	cwd, _ := os.Getwd()
+	relTo := func(base, name string) (string, bool) {
+		if base == "" {
+			return name, false
+		}
+		rel, err := filepath.Rel(base, name)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return name, false
+		}
+		return rel, true
+	}
 	findings := checker.Sorted()
+	enc := json.NewEncoder(out)
+	enc.SetEscapeHTML(false) // keep "->" chains readable in records
 	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		if jsonOut {
+			name := f.Pos.Filename
+			if rel, ok := relTo(modRoot, name); ok {
 				name = rel
 			}
+			enc.Encode(jsonFinding{
+				Rule:  f.Rule,
+				File:  filepath.ToSlash(name),
+				Line:  f.Pos.Line,
+				Msg:   f.Msg,
+				Chain: f.Chain,
+			})
+			continue
+		}
+		name := f.Pos.Filename
+		if rel, ok := relTo(cwd, name); ok {
+			name = rel
 		}
 		fmt.Fprintf(out, "%s:%d: %s: %s\n", name, f.Pos.Line, f.Rule, f.Msg)
 	}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test; run() resolves the
+// module root and relative output paths from it.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// writeModule materializes a throwaway module for driver tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tmpGoMod = "module tmpfix\n\ngo 1.22\n"
+
+// TestRunExitCodes pins the driver contract: 0 clean, 1 findings, 2 for
+// usage or load errors.
+func TestRunExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":   tmpGoMod,
+			"clean.go": "package tmpfix\n\n// Add adds.\nfunc Add(a, b int) int { return a + b }\n",
+		})
+		chdir(t, dir)
+		var out, errw bytes.Buffer
+		if code := run("", false, nil, &out, &errw); code != 0 {
+			t.Fatalf("clean module: exit %d, stderr %q, stdout %q", code, errw.String(), out.String())
+		}
+		if out.Len() != 0 {
+			t.Fatalf("clean module should print nothing, got %q", out.String())
+		}
+	})
+	t.Run("findings", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": tmpGoMod,
+			"hot.go": "package tmpfix\n\nimport \"fmt\"\n\n// damqvet:hotpath\nfunc Hot(v int) string {\n\treturn fmt.Sprint(v)\n}\n",
+		})
+		chdir(t, dir)
+		var out, errw bytes.Buffer
+		if code := run("", false, nil, &out, &errw); code != 1 {
+			t.Fatalf("violating module: exit %d, stderr %q", code, errw.String())
+		}
+		if !strings.Contains(out.String(), "hot.go:7: zeroalloc: fmt.Sprint in hot path") {
+			t.Fatalf("missing expected finding in %q", out.String())
+		}
+	})
+	t.Run("unknown-rule", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"go.mod": tmpGoMod, "a.go": "package tmpfix\n"})
+		chdir(t, dir)
+		var out, errw bytes.Buffer
+		if code := run("nosuchrule", false, nil, &out, &errw); code != 2 {
+			t.Fatalf("unknown rule: exit %d", code)
+		}
+	})
+	t.Run("load-error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":  tmpGoMod,
+			"bad.go":  "package tmpfix\n\nfunc Broken() { return 3 }\n",
+			"good.go": "package tmpfix\n",
+		})
+		chdir(t, dir)
+		var out, errw bytes.Buffer
+		if code := run("", false, nil, &out, &errw); code != 2 {
+			t.Fatalf("type error: exit %d, stderr %q", code, errw.String())
+		}
+		if !strings.Contains(errw.String(), "damqvet:") {
+			t.Fatalf("load error should be reported on stderr, got %q", errw.String())
+		}
+	})
+}
+
+// TestJSONGolden pins the -json record format byte for byte: tools (the
+// CI problem matcher, diff-based gating) depend on it staying stable.
+func TestJSONGolden(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"hot.go": "package tmpfix\n\nimport \"fmt\"\n\n// damqvet:hotpath\nfunc Hot(v int) string {\n\treturn fmt.Sprint(v)\n}\n\nfunc helper() string { return fmt.Sprint(1) }\n\n// damqvet:hotpath\nfunc Deep(v int) string {\n\treturn helper()\n}\n",
+	})
+	chdir(t, dir)
+	var out, errw bytes.Buffer
+	if code := run("", true, nil, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	golden := `{"rule":"zeroalloc","file":"hot.go","line":7,"msg":"fmt.Sprint in hot path allocates; move formatting off the hot path"}
+{"rule":"zeroalloc","file":"hot.go","line":10,"msg":"fmt.Sprint in hot path allocates; move formatting off the hot path (hot path: Deep -> helper)","chain":["Deep","helper"]}
+`
+	if got := out.String(); got != golden {
+		t.Fatalf("json output drifted:\n got: %q\nwant: %q", got, golden)
+	}
+}
+
+// TestSeededViolations is the acceptance check for the interprocedural
+// families: a deliberately planted allocation two hops below a hotpath
+// root, and a shard-phase callee that stores through coordinator state,
+// must both fail the run.
+func TestSeededViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"internal/hot/hot.go": `package hot
+
+// damqvet:hotpath
+func Step() { a() }
+
+func a() { b() }
+
+func b() {
+	s := "x"
+	s += "y"
+	_ = s
+}
+`,
+		"internal/netsim/netsim.go": `package netsim
+
+type sim struct{ cycle int64 }
+
+type worker struct{ sim *sim }
+
+func poke(c *int64) { *c = 1 }
+
+func (w *worker) step() { poke(&w.sim.cycle) }
+
+var _ = (&worker{}).step
+`,
+	})
+	chdir(t, dir)
+	var out, errw bytes.Buffer
+	if code := run("", false, nil, &out, &errw); code != 1 {
+		t.Fatalf("seeded violations must fail: exit %d, stderr %q, stdout %q", code, errw.String(), out.String())
+	}
+	text := out.String()
+	for _, wantLine := range []string{
+		"string concatenation in hot path allocates (hot path: Step -> a -> b)",
+		"shard method passes coordinator state (via the sim back-pointer) to a callee that stores through it (poke)",
+	} {
+		if !strings.Contains(text, wantLine) {
+			t.Errorf("missing seeded finding %q in output:\n%s", wantLine, text)
+		}
+	}
+}
+
+// TestSelfCheck runs the analyzer over this repository from inside go
+// test: the tree must stay clean under its own rules, with every waiver
+// justified.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	chdir(t, filepath.Join("..", ".."))
+	var out, errw bytes.Buffer
+	if code := run("", false, []string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("damqvet is not clean over its own repository (exit %d):\n%s%s", code, out.String(), errw.String())
+	}
+}

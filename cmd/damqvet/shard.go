@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// The sharded-determinism rule (part of the determinism family).
+// The phase-safety family (interprocedural sharded-determinism).
 //
 // The sharded stepping core partitions each stage's switches across
 // shard workers and lets the shards run concurrently between barriers.
@@ -15,44 +17,450 @@ import (
 // written only in the serial prologue/epilogue that the coordinator runs
 // with every worker parked at a barrier.
 //
-// This rule enforces the contract structurally: inside any method whose
-// receiver struct declares a `sim` field (the shard shape), assignments
-// and ++/-- whose target is reached through that field — directly
-// (sh.sim.cycle = n) or via a local alias (s := sh.sim; s.cycle++) —
-// are flagged unless the function carries a // damqvet:sharded waiver
-// recording the audit that its writes are barrier-owned.
+// The rule enforces the contract structurally and, since the call-graph
+// rewrite, across function boundaries. Inside any method whose receiver
+// struct declares a `sim` field (the shard shape):
+//
+//   - assignments and ++/-- whose target is reached through that field —
+//     directly (sh.sim.cycle = n) or via a local alias (s := sh.sim;
+//     s.cycle++) — are flagged, as before;
+//
+//   - a call that passes coordinator state (an argument, method
+//     receiver, or method-value binding that reaches through recv.sim)
+//     into a callee that stores through it — at any depth — is flagged
+//     with the chain of functions that carries the write.
+//
+// The callee side comes from bottom-up mutation summaries: for every
+// function in the program, the set of its inputs (receiver, then
+// parameters) it can store through, propagated to a fixpoint over the
+// static call graph. A function carrying a sharded waiver is accepted
+// only if the waiver actually suppresses a would-be finding; the waiver
+// audit fails it otherwise.
 
-// checkShardWrites runs the sharded-determinism rule over one file.
-func (c *Checker) checkShardWrites(p *Package, ann fileAnnots, f *ast.File) {
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		recv := shardReceiver(p.Info, fd)
-		if recv == nil || isShardedFunc(ann, c.Fset, fd) {
-			continue
-		}
-		aliases := map[types.Object]bool{}
-		collectSimAliases(p.Info, recv, fd.Body, aliases)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range x.Lhs {
-					if isSimWrite(p.Info, recv, aliases, lhs) {
-						c.report(lhs.Pos(), ruleDeterminism,
-							"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
-					}
+// mutFacts is one function's mutation summary. inputs lists the
+// receiver (if any) followed by the parameters; mutated is parallel,
+// nil meaning "never stored through".
+type mutFacts struct {
+	inputs  []types.Object
+	mutated []*mutCause
+	// aliasOf maps body locals to the bitmask of inputs they alias
+	// (q := p; t := q.field).
+	aliasOf map[types.Object]uint64
+	// links records input values forwarded into callees, pending the
+	// global fixpoint.
+	links []argLink
+}
+
+// mutCause explains one input's mutation: a direct store at pos, or a
+// call at pos into site whose calleeInput is mutated (follow the site's
+// node summary to reconstruct the chain).
+type mutCause struct {
+	pos         token.Pos
+	site        *callSite
+	calleeInput int
+	calleeName  string // display name when site.node is nil (stdlib)
+}
+
+// argLink is "input idx flows into calleeInput of site".
+type argLink struct {
+	site        *callSite
+	input       int
+	calleeInput int
+	pos         token.Pos
+}
+
+// phasePass runs the phase-safety family: mutation summaries to a
+// fixpoint, then the shard-method rule over every simulation package.
+func (c *Checker) phasePass(g *graph) {
+	for _, n := range g.nodes {
+		c.initMut(n)
+	}
+	// Global fixpoint: lift callee mutations across the recorded links.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			for _, l := range n.mut.links {
+				if n.mut.mutated[l.input] != nil {
+					continue
 				}
-			case *ast.IncDecStmt:
-				if isSimWrite(p.Info, recv, aliases, x.X) {
-					c.report(x.Pos(), ruleDeterminism,
-						"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
+				cn := l.site.node
+				if cn == nil || cn.mut == nil {
+					continue
+				}
+				if l.calleeInput < len(cn.mut.mutated) && cn.mut.mutated[l.calleeInput] != nil {
+					n.mut.mutated[l.input] = &mutCause{pos: l.pos, site: l.site, calleeInput: l.calleeInput}
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		if n.decl != nil && c.isSimPackage(n.pkg.Path) {
+			c.checkShardMethod(n)
+		}
+	}
+}
+
+// initMut computes the intraprocedural half of a node's summary: direct
+// stores through inputs (or their aliases), known-mutating stdlib calls
+// (copy, sort.*, slices.*), and the input-to-callee links the fixpoint
+// lifts. Only pointer-shaped inputs can carry a mutation back to the
+// caller; value receivers and struct-copy parameters are excluded.
+func (c *Checker) initMut(n *funcNode) {
+	info := n.pkg.Info
+	m := &mutFacts{aliasOf: map[types.Object]uint64{}}
+	n.mut = m
+
+	var recv *ast.FieldList
+	var ftype *ast.FuncType
+	if n.decl != nil {
+		recv, ftype = n.decl.Recv, n.decl.Type
+	} else {
+		ftype = n.lit.Type
+	}
+	addInput := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := info.Defs[name]; o != nil {
+					m.inputs = append(m.inputs, o)
+				}
+			}
+			// Unnamed inputs still occupy a slot so callee-input
+			// indices line up with call-site argument positions.
+			if len(field.Names) == 0 {
+				m.inputs = append(m.inputs, nil)
+			}
+		}
+	}
+	addInput(recv)
+	addInput(ftype.Params)
+	m.mutated = make([]*mutCause, len(m.inputs))
+
+	inputIdx := func(o types.Object) int {
+		if o == nil {
+			return -1
+		}
+		for i, in := range m.inputs {
+			if in != nil && in == o {
+				return i
+			}
+		}
+		return -1
+	}
+	// exprInputs returns the bitmask of inputs expr's root reaches.
+	exprInputs := func(e ast.Expr) uint64 {
+		root := rootIdent(e)
+		if root == nil {
+			return 0
+		}
+		ro := objOf(info, root)
+		if ro == nil {
+			return 0
+		}
+		if i := inputIdx(ro); i >= 0 && i < 64 {
+			return 1 << i
+		}
+		return m.aliasOf[ro]
+	}
+
+	// Alias fixpoint: locals assigned from inputs or existing aliases.
+	for range 4 {
+		changed := false
+		ast.Inspect(n.body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				mask := exprInputs(as.Rhs[i])
+				if mask == 0 {
+					continue
+				}
+				if lo := objOf(info, lid); lo != nil && m.aliasOf[lo]&mask != mask {
+					m.aliasOf[lo] |= mask
+					changed = true
 				}
 			}
 			return true
 		})
+		if !changed {
+			break
+		}
 	}
+
+	markStore := func(mask uint64, pos token.Pos) {
+		for i := range m.inputs {
+			if mask&(1<<i) != 0 && m.mutated[i] == nil && pointerShaped(m.inputs[i]) {
+				m.mutated[i] = &mutCause{pos: pos}
+			}
+		}
+	}
+	markVia := func(mask uint64, pos token.Pos, site *callSite, calleeInput int, calleeName string) {
+		for i := range m.inputs {
+			if mask&(1<<i) != 0 && pointerShaped(m.inputs[i]) {
+				if site == nil {
+					if m.mutated[i] == nil {
+						m.mutated[i] = &mutCause{pos: pos, calleeInput: -1, calleeName: calleeName}
+					}
+				} else {
+					m.links = append(m.links, argLink{site: site, input: i, calleeInput: calleeInput, pos: pos})
+				}
+			}
+		}
+	}
+
+	sites := map[*ast.CallExpr][]*callSite{}
+	for _, s := range n.calls {
+		sites[s.call] = append(sites[s.call], s)
+	}
+
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if _, bare := lhs.(*ast.Ident); bare {
+					continue // rebinding a local, not a store through it
+				}
+				markStore(exprInputs(lhs), lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			if _, bare := x.X.(*ast.Ident); !bare {
+				markStore(exprInputs(x.X), x.Pos())
+			}
+		case *ast.UnaryExpr:
+			// &input.field escaping disables no analysis here; keeping
+			// the summary cheap is the point. The chaos soak and race
+			// detector back this rule up at runtime.
+		case *ast.CallExpr:
+			// copy(dst, src) mutates dst even though dst is never an
+			// lvalue of an assignment.
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "copy" && len(x.Args) == 2 {
+				if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+					markVia(exprInputs(x.Args[0]), x.Pos(), nil, -1, "copy")
+					return true
+				}
+			}
+			// sort.X(s, ...) / slices.X(s, ...) reorder their first
+			// argument in place.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && len(x.Args) > 0 {
+				if pn := pkgNameOf(info, sel.X); pn != nil {
+					if ip := pn.Imported().Path(); ip == "sort" || ip == "slices" {
+						markVia(exprInputs(x.Args[0]), x.Pos(), nil, -1, pn.Name()+"."+sel.Sel.Name)
+						return true
+					}
+				}
+			}
+			for _, site := range sites[x] {
+				c.linkCall(info, m, x, site, exprInputs, markVia)
+			}
+		}
+		return true
+	})
+}
+
+// linkCall records how one resolved call forwards this function's inputs
+// into the callee: the method receiver (explicit or method-value bound)
+// maps to callee input 0, arguments map to the following slots, with the
+// variadic tail folded onto the last one.
+func (c *Checker) linkCall(info *types.Info, m *mutFacts, call *ast.CallExpr,
+	site *callSite, exprInputs func(ast.Expr) uint64,
+	markVia func(uint64, token.Pos, *callSite, int, string)) {
+
+	sig, ok := site.callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	argBase := 0
+	if sig.Recv() != nil {
+		argBase = 1
+		var recvExpr ast.Expr
+		if site.boundRecv != nil {
+			recvExpr = site.boundRecv
+		} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if selinfo, isSel := info.Selections[sel]; isSel && selinfo.Kind() == types.MethodVal {
+				recvExpr = sel.X
+			}
+		}
+		if recvExpr != nil {
+			markVia(exprInputs(recvExpr), call.Pos(), site, 0, "")
+		}
+	}
+	nParams := sig.Params().Len()
+	for k, arg := range call.Args {
+		if !pointerShapedType(info.Types[arg].Type) {
+			continue // a copy cannot carry the store back
+		}
+		slot := k
+		if sig.Variadic() && slot >= nParams-1 {
+			slot = nParams - 1
+		}
+		if slot >= nParams {
+			continue
+		}
+		markVia(exprInputs(arg), call.Pos(), site, argBase+slot, "")
+	}
+}
+
+// pointerShaped reports whether an input variable can carry stores back
+// to the caller: pointers, slices, maps, and interfaces can; value
+// structs, arrays, and basics are copies.
+func pointerShaped(o types.Object) bool {
+	if o == nil {
+		return false
+	}
+	return pointerShapedType(o.Type())
+}
+
+func pointerShapedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkShardMethod applies the shard-ownership rule to one method whose
+// receiver struct declares a `sim` field. Would-be findings are computed
+// even under a sharded waiver, so the waiver audit can tell a justified
+// waiver from a stale one.
+func (c *Checker) checkShardMethod(n *funcNode) {
+	recv := shardReceiver(n.pkg.Info, n.decl)
+	if recv == nil {
+		return
+	}
+	info := n.pkg.Info
+	aliases := map[types.Object]bool{}
+	collectSimAliases(info, recv, n.body, aliases)
+	reachesSim := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		if selectsSimOfRecv(info, recv, e) {
+			return true
+		}
+		if root := rootIdent(e); root != nil {
+			if ro := objOf(info, root); ro != nil && aliases[ro] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var would []Finding
+	flag := func(pos token.Pos, chain []string, format string, args ...any) {
+		would = append(would, Finding{
+			Pos: c.Fset.Position(pos), Rule: rulePhase,
+			Msg: fmt.Sprintf(format, args...), Chain: chain,
+		})
+	}
+
+	// Direct writes, as in the original rule.
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if isSimWrite(info, recv, aliases, lhs) {
+					flag(lhs.Pos(), nil,
+						"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
+				}
+			}
+		case *ast.IncDecStmt:
+			if isSimWrite(info, recv, aliases, x.X) {
+				flag(x.Pos(), nil,
+					"shard method writes coordinator state through the sim back-pointer; move the write to a serial barrier section or waive with // damqvet:sharded")
+			}
+		}
+		return true
+	})
+
+	// Interprocedural: coordinator state handed to a mutating callee.
+	for _, site := range n.calls {
+		cn := site.node
+		if cn == nil || cn.mut == nil {
+			continue
+		}
+		sig, ok := site.callee.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		argBase := 0
+		if sig.Recv() != nil {
+			argBase = 1
+			recvExpr := site.boundRecv
+			if recvExpr == nil {
+				if sel, isSel := ast.Unparen(site.call.Fun).(*ast.SelectorExpr); isSel {
+					if selinfo, isMeth := info.Selections[sel]; isMeth && selinfo.Kind() == types.MethodVal {
+						recvExpr = sel.X
+					}
+				}
+			}
+			if reachesSim(recvExpr) && 0 < len(cn.mut.mutated) && cn.mut.mutated[0] != nil {
+				chain := mutChain(n, site, 0)
+				flag(site.call.Pos(), chain,
+					"shard method calls a mutating method on coordinator state reached through the sim back-pointer (%s); move the call to a serial barrier section or waive with // damqvet:sharded",
+					chainString(chain))
+			}
+		}
+		nParams := sig.Params().Len()
+		for k, arg := range site.call.Args {
+			if !reachesSim(arg) {
+				continue
+			}
+			slot := k
+			if sig.Variadic() && slot >= nParams-1 {
+				slot = nParams - 1
+			}
+			ci := argBase + slot
+			if slot < nParams && ci < len(cn.mut.mutated) && cn.mut.mutated[ci] != nil {
+				chain := mutChain(n, site, ci)
+				flag(arg.Pos(), chain,
+					"shard method passes coordinator state (via the sim back-pointer) to a callee that stores through it (%s); move the write to a serial barrier section or waive with // damqvet:sharded",
+					chainString(chain))
+			}
+		}
+	}
+
+	if n.sharded != nil {
+		if len(would) > 0 {
+			n.sharded.suppressed = true
+		}
+		return
+	}
+	c.Findings = append(c.Findings, would...)
+}
+
+// mutChain reconstructs the function chain that carries a coordinator
+// write, starting at the flagged call site: callee, its callee, ...,
+// down to the function containing the raw store (or a known stdlib
+// mutator like sort.Slice).
+func mutChain(from *funcNode, site *callSite, input int) []string {
+	var chain []string
+	for range 32 {
+		cn := site.node
+		if cn == nil {
+			break
+		}
+		chain = append(chain, cn.name(from.pkg))
+		cause := cn.mut.mutated[input]
+		if cause == nil || cause.site == nil {
+			if cause != nil && cause.calleeName != "" {
+				chain = append(chain, cause.calleeName)
+			}
+			break
+		}
+		site, input = cause.site, cause.calleeInput
+	}
+	return chain
 }
 
 // shardReceiver returns the receiver object of a shard method: a method
@@ -110,6 +518,11 @@ func selectsSimOfRecv(info *types.Info, recv types.Object, e ast.Expr) bool {
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
 			e = x.X
 		default:
 			return false

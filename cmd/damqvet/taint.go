@@ -1,0 +1,382 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The determinism-taint family. The per-package determinism rules flag
+// wall-clock reads, global RNG imports, and map-order iteration inside
+// the simulation packages — but a helper in any other package can
+// launder the same nondeterminism through a return value, and the old
+// checker never saw it. This pass summarizes, for every function in the
+// program, whether its return value derives from a taint source:
+//
+//   - time.Now / time.Since results,
+//   - package-global math/rand (or math/rand/v2) values,
+//   - map iteration order (a range-over-map feeding the return, unless
+//     the collected slice is sorted before returning or the loop
+//     carries an ordered waiver).
+//
+// Summaries compose across calls to a fixpoint, so a source two hops
+// away still taints. The sink check then runs over the simulation
+// packages only: a call to a taint-returning function whose result
+// flows into a store to simulation state (a field of the receiver, a
+// package variable — anything that outlives the function) or into an
+// emitted metric (an argument to a sink-pointer method) is a finding
+// that names the full chain back to the source.
+
+// taintFact describes the nondeterministic origin of a value.
+type taintFact struct {
+	kind  string   // "time.Now", "time.Since", "math/rand", "map iteration order"
+	chain []string // call chain from the consuming function to the source
+	// waived notes the ordered marker on a map-range source; a waived
+	// fact never escapes through a return, and the marker is credited
+	// when dropping it changed the summary.
+	waived *marker
+}
+
+// taintPass computes return-taint summaries for the whole program and
+// then checks the simulation-package sinks.
+func (c *Checker) taintPass(g *graph) {
+	for _, n := range g.nodes {
+		c.taintOf(n)
+	}
+	for _, n := range g.nodes {
+		if c.isSimPackage(n.pkg.Path) {
+			c.checkTaintSinks(n)
+		}
+	}
+}
+
+// bodyTaint computes the tainted-locals map for one body: local objects
+// whose value derives from a taint source, each carrying its fact.
+func (c *Checker) bodyTaint(n *funcNode) map[types.Object]*taintFact {
+	info := n.pkg.Info
+	tainted := map[types.Object]*taintFact{}
+	exprFact := c.exprFactFunc(n, tainted)
+
+	for range 8 {
+		changed := false
+		mark := func(id *ast.Ident, f *taintFact) {
+			if id == nil || id.Name == "_" || f == nil {
+				return
+			}
+			if o := objOf(info, id); o != nil && tainted[o] == nil {
+				tainted[o] = f
+				changed = true
+			}
+		}
+		ast.Inspect(n.body, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i, lhs := range x.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							mark(id, exprFact(x.Rhs[i]))
+						}
+					}
+				} else if len(x.Rhs) == 1 {
+					if f := exprFact(x.Rhs[0]); f != nil {
+						for _, lhs := range x.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								mark(id, f)
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range x.Names {
+					if i < len(x.Values) {
+						mark(id, exprFact(x.Values[i]))
+					}
+				}
+			case *ast.RangeStmt:
+				var f *taintFact
+				if tv, ok := info.Types[x.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						f = &taintFact{kind: "map iteration order"}
+						if m := n.ann.markerFor(markOrdered, c.Fset.Position(x.Pos()).Line); m != nil {
+							f.waived = m
+						}
+					}
+				}
+				if f == nil {
+					f = exprFact(x.X) // ranging over an already-tainted value
+				}
+				if f != nil {
+					if id, ok := x.Key.(*ast.Ident); ok {
+						mark(id, f)
+					}
+					if id, ok := x.Value.(*ast.Ident); ok {
+						mark(id, f)
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// The collect-then-sort idiom normalizes iteration order: passing a
+	// map-order-tainted slice to sort/slices clears that taint.
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pkgNameOf(info, sel.X)
+		if pn == nil {
+			return true
+		}
+		if ip := pn.Imported().Path(); ip != "sort" && ip != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok {
+				if o := objOf(info, id); o != nil {
+					if f := tainted[o]; f != nil && f.kind == "map iteration order" {
+						delete(tainted, o)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// exprFactFunc returns the expression-taint evaluator for one body: the
+// first taint fact found inside e, from a source call, a call to a
+// taint-returning function, or a reference to a tainted local.
+func (c *Checker) exprFactFunc(n *funcNode, tainted map[types.Object]*taintFact) func(ast.Expr) *taintFact {
+	info := n.pkg.Info
+	sites := map[*ast.CallExpr][]*callSite{}
+	for _, s := range n.calls {
+		sites[s.call] = append(sites[s.call], s)
+	}
+	return func(e ast.Expr) *taintFact {
+		if e == nil {
+			return nil
+		}
+		var found *taintFact
+		ast.Inspect(e, func(nd ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch x := nd.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if calleeFromPkg(info, x, "time", "Now") {
+					found = &taintFact{kind: "time.Now"}
+					return false
+				}
+				if calleeFromPkg(info, x, "time", "Since") {
+					found = &taintFact{kind: "time.Since"}
+					return false
+				}
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if pn := pkgNameOf(info, sel.X); pn != nil {
+						ip := pn.Imported().Path()
+						if ip == "math/rand" || ip == "math/rand/v2" {
+							found = &taintFact{kind: "math/rand global RNG"}
+							return false
+						}
+					}
+				}
+				for _, site := range sites[x] {
+					if site.node == nil {
+						continue
+					}
+					if f := c.taintOf(site.node); f != nil {
+						found = &taintFact{
+							kind:  f.kind,
+							chain: append([]string{site.node.qname()}, f.chain...),
+						}
+						return false
+					}
+				}
+			case *ast.Ident:
+				if o := objOf(info, x); o != nil {
+					if f := tainted[o]; f != nil {
+						found = f
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+}
+
+// taintOf computes (and memoizes) one function's return-taint summary.
+// Cycles resolve as clean while being explored; a real source on the
+// cycle still surfaces through the member that returns it.
+func (c *Checker) taintOf(n *funcNode) *taintFact {
+	if n.taintDone {
+		return n.taint
+	}
+	if n.taintBusy {
+		return nil
+	}
+	n.taintBusy = true
+	defer func() { n.taintBusy = false; n.taintDone = true }()
+
+	tainted := c.bodyTaint(n)
+	exprFact := c.exprFactFunc(n, tainted)
+
+	// Named results count as return values when a bare return can see
+	// them.
+	var namedResults []types.Object
+	var resultList *ast.FieldList
+	if n.decl != nil {
+		resultList = n.decl.Type.Results
+	} else {
+		resultList = n.lit.Type.Results
+	}
+	if resultList != nil {
+		for _, field := range resultList.List {
+			for _, name := range field.Names {
+				if o := n.pkg.Info.Defs[name]; o != nil {
+					namedResults = append(namedResults, o)
+				}
+			}
+		}
+	}
+
+	var ret, waivedRet *taintFact
+	record := func(f *taintFact) {
+		if f == nil {
+			return
+		}
+		if f.waived != nil {
+			if waivedRet == nil {
+				waivedRet = f
+			}
+			return
+		}
+		if ret == nil {
+			ret = f
+		}
+	}
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		rs, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(rs.Results) == 0 {
+			for _, o := range namedResults {
+				record(tainted[o])
+			}
+			return true
+		}
+		for _, e := range rs.Results {
+			record(exprFact(e))
+		}
+		return true
+	})
+
+	if ret == nil && waivedRet != nil {
+		// The ordered waiver is what kept this summary clean: credit it.
+		waivedRet.waived.suppressed = true
+	}
+	n.taint = ret
+	return ret
+}
+
+// checkTaintSinks flags the places inside one simulation-package
+// function where a cross-function taint fact reaches state that
+// outlives the call: stores whose target roots at the receiver, a
+// parameter, or a package variable, and arguments to sink-pointer
+// method calls (emitted metrics). Facts born inside the same function
+// are the intraprocedural determinism family's job and are skipped
+// here.
+func (c *Checker) checkTaintSinks(n *funcNode) {
+	info := n.pkg.Info
+	tainted := c.bodyTaint(n)
+	exprFact := c.exprFactFunc(n, tainted)
+	cross := func(e ast.Expr) *taintFact {
+		if f := exprFact(e); f != nil && len(f.chain) > 0 && f.waived == nil {
+			return f
+		}
+		return nil
+	}
+
+	stateRoots := map[types.Object]bool{}
+	var recv *ast.FieldList
+	var ftype *ast.FuncType
+	if n.decl != nil {
+		recv, ftype = n.decl.Recv, n.decl.Type
+	} else {
+		ftype = n.lit.Type
+	}
+	paramObjects(info, recv, ftype, stateRoots)
+	isStateStore := func(lhs ast.Expr) bool {
+		if id, bare := lhs.(*ast.Ident); bare {
+			// Rebinding a local is fine; assigning a package variable is
+			// a store that outlives the call.
+			ro := objOf(info, id)
+			return ro != nil && ro.Parent() == n.pkg.Pkg.Scope()
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return false
+		}
+		ro := objOf(info, root)
+		if ro == nil {
+			return false
+		}
+		return stateRoots[ro] || ro.Parent() == n.pkg.Pkg.Scope()
+	}
+
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if !isStateStore(lhs) {
+					continue
+				}
+				var f *taintFact
+				if len(x.Lhs) == len(x.Rhs) {
+					f = cross(x.Rhs[i])
+				} else if len(x.Rhs) == 1 {
+					f = cross(x.Rhs[0])
+				}
+				if f != nil {
+					c.reportChain(lhs.Pos(), ruleTaint, f.chain,
+						"simulation state assigned a value derived from %s (via %s); plumb a deterministic input instead",
+						f.kind, chainString(f.chain))
+				}
+			}
+		case *ast.IncDecStmt:
+			// ++/-- carry no new value; nothing to taint.
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, isMethod := info.Selections[sel]; !isMethod {
+				return true
+			}
+			if tv, ok := info.Types[sel.X]; !ok || !isSinkPointer(tv.Type) {
+				return true
+			}
+			for _, a := range x.Args {
+				if f := cross(a); f != nil {
+					c.reportChain(a.Pos(), ruleTaint, f.chain,
+						"emitted metric derives from %s (via %s); metrics must be a pure function of simulation state",
+						f.kind, chainString(f.chain))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,56 @@
+// Package clock seeds cross-function nondeterminism sources for the
+// taint family: helpers whose return values launder wall-clock readings,
+// the process-global RNG, and map iteration order across function and
+// package boundaries.
+package clock
+
+import (
+	"math/rand" // want "simulation package imports math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp returns a wall-clock reading; callers inherit the taint.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in simulation package"
+}
+
+// Elapsed launders the reading through one more hop.
+func Elapsed(since int64) int64 {
+	return Stamp() - since
+}
+
+// Jitter launders the process-global RNG through a return value.
+func Jitter() int64 {
+	return rand.Int63()
+}
+
+// FirstKey observes map iteration order and returns the witness.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want "range over map"
+		return k
+	}
+	return ""
+}
+
+// SortedKeys is clean: collect-then-sort discharges the order taint
+// before the slice escapes.
+func SortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// AnyKey returns an arbitrary key under an audited waiver: callers
+// treat every key as equivalent, so the summary stays clean and the
+// waiver earns its suppression credit.
+func AnyKey(m map[string]int) string {
+	// damqvet:ordered any representative key works here
+	for k := range m {
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,22 @@
+// Package hotchain seeds transitive zeroalloc violations: the hot root
+// is clean line by line, and the allocations hide in callees one and two
+// hops down — in a second file of this package and across the package
+// boundary in fixture/hotdeep. The findings must carry the call chain.
+package hotchain
+
+import "fixture/hotdeep"
+
+// Ring is the hot structure; Step is the only annotated root.
+type Ring struct {
+	slots []int
+	buf   []byte
+}
+
+// Step allocates nothing itself; its callees inherit the obligation.
+// damqvet:hotpath
+func (r *Ring) Step(v int) {
+	r.slots = append(r.slots, v)
+	r.probe(v)
+	hotdeep.Note(v)
+	r.grow() // damqvet:coldcall audited: doubles capacity, amortized O(1)
+}

@@ -1,0 +1,32 @@
+package hotchain
+
+import "fmt"
+
+// probe is unannotated: the hotpath obligation arrives through Step, and
+// the finding names the chain.
+func (r *Ring) probe(v int) {
+	s := fmt.Sprintf("probe %d", v) // want "fmt.Sprintf in hot path.*hot path: Ring.Step -> Ring.probe"
+	_ = s
+	r.deeper(v)
+}
+
+// deeper is two hops below the root: still hot-reachable.
+func (r *Ring) deeper(v int) {
+	r.buf = append(r.buf, byte(v)) // clean: receiver-rooted growth
+	var tmp []int
+	tmp = append(tmp, v) // want "append to a slice not reachable.*hot path: Ring.Step -> Ring.probe -> Ring.deeper"
+	_ = tmp
+}
+
+// grow allocates freely: it is only reachable through the
+// coldcall-waived line in Step, so the pass never descends into it —
+// and because it would have been dirty, the waiver is credited and the
+// audit accepts it.
+func (r *Ring) grow() {
+	next := make([]int, len(r.slots), 2*cap(r.slots)+1)
+	copy(next, r.slots)
+	var spill []int
+	spill = append(spill, len(next))
+	_ = spill
+	r.slots = next
+}

@@ -1,0 +1,11 @@
+// Package hotdeep receives the hotpath obligation from another package:
+// zeroalloc propagation follows the static call graph across the import
+// edge, and the chain names the foreign root.
+package hotdeep
+
+import "fmt"
+
+// Note is reached from hotchain.(*Ring).Step's hot body.
+func Note(v int) {
+	_ = fmt.Sprint(v) // want "fmt.Sprint in hot path.*hot path: Ring.Step -> hotdeep.Note"
+}

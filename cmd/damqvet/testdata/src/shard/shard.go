@@ -54,3 +54,53 @@ func (w *worker) finishEpilogue() {
 func (w *worker) spawn(ch chan int) {
 	go func() { ch <- w.id }() // want "bare go statement"
 }
+
+// bump stores through its pointer argument: a mutation summary the
+// phase rule lifts to every caller.
+func bump(c *int64) { *c = *c + 1 }
+
+// relay forwards to bump; the write is two hops from the shard method.
+func relay(c *int64) { bump(c) }
+
+// addTotal stores through its slice argument.
+func addTotal(ts []int64, id int) { ts[id]++ }
+
+// grow is a coordinator method that mutates the coordinator.
+func (s *sim) grow() { s.backlog++ }
+
+// stepViaCallee hands coordinator state to a callee that stores through
+// it; the finding names the chain.
+func (w *worker) stepViaCallee() {
+	bump(&w.sim.backlog)         // want "passes coordinator state .via the sim back-pointer. to a callee that stores through it .bump."
+	addTotal(w.sim.totals, w.id) // want "passes coordinator state .via the sim back-pointer. to a callee that stores through it .addTotal."
+}
+
+// stepDeep reaches the write through two hops.
+func (w *worker) stepDeep() {
+	relay(&w.sim.backlog) // want "callee that stores through it .relay -> bump."
+}
+
+// stepViaMethod calls a mutating method on the coordinator.
+func (w *worker) stepViaMethod() {
+	w.sim.grow() // want "calls a mutating method on coordinator state reached through the sim back-pointer .sim.grow."
+}
+
+// stepViaMethodValue hides the mutating method behind a method value;
+// the binding's receiver is tracked through the local.
+func (w *worker) stepViaMethodValue() {
+	f := w.sim.grow
+	f() // want "calls a mutating method on coordinator state reached through the sim back-pointer .sim.grow."
+}
+
+// stepLocalCallee is clean: the mutated target is shard-owned.
+func (w *worker) stepLocalCallee() {
+	bump(&w.inFlight)
+}
+
+// stepReadCallee is clean: the callee only reads the coordinator state
+// it is given.
+func (w *worker) stepReadCallee() int64 {
+	return readTotal(w.sim.totals, w.id)
+}
+
+func readTotal(ts []int64, id int) int64 { return ts[id] }

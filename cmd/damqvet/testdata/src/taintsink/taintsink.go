@@ -1,0 +1,75 @@
+// Package taintsink consumes the clock helpers from simulation code:
+// the taint family flags cross-function nondeterminism flowing into
+// state that outlives the call and into emitted metrics, and accepts
+// the discharged and waived forms.
+package taintsink
+
+import (
+	"fixture/clock"
+	"fixture/obs"
+)
+
+// Sim is persistent simulation state.
+type Sim struct {
+	start int64
+	seed  int64
+	label string
+	names []string
+	depth *obs.Gauge
+}
+
+var lastRun int64
+
+// Begin stores a laundered wall-clock reading into sim state.
+func (s *Sim) Begin() {
+	s.start = clock.Stamp() // want "derived from time.Now .via clock.Stamp."
+}
+
+// Tick launders through two hops; the chain names both.
+func (s *Sim) Tick() {
+	s.start = clock.Elapsed(s.start) // want "derived from time.Now .via clock.Elapsed -> clock.Stamp."
+}
+
+// Reseed parks the laundered RNG value in a local first; the flow into
+// the field is still flagged.
+func (s *Sim) Reseed() {
+	v := clock.Jitter()
+	s.seed = v // want "derived from math/rand global RNG .via clock.Jitter."
+}
+
+// Stamp taints a package variable: assigning a global is a store that
+// outlives the call even though the target is a bare identifier.
+func Stamp() {
+	lastRun = clock.Stamp() // want "derived from time.Now .via clock.Stamp."
+}
+
+// Label stores a map-order witness obtained across the call boundary.
+func (s *Sim) Label(m map[string]int) {
+	s.label = clock.FirstKey(m) // want "derived from map iteration order .via clock.FirstKey."
+}
+
+// Names is clean: the helper sorts before returning.
+func (s *Sim) Names(m map[string]int) {
+	s.names = clock.SortedKeys(m)
+}
+
+// Pick is clean: the waived helper's summary was discharged by its
+// audit.
+func (s *Sim) Pick(m map[string]int) {
+	s.label = clock.AnyKey(m)
+}
+
+// Observe feeds a laundered reading into an emitted metric.
+func (s *Sim) Observe() {
+	if s.depth != nil {
+		s.depth.Set(clock.Stamp()) // want "emitted metric derives from time.Now .via clock.Stamp."
+	}
+}
+
+// Scratch keeps the tainted value local and returns a difference; reads
+// that never reach persistent state or metrics are legal here (the
+// helper's own package answers for the time.Now call).
+func (s *Sim) Scratch() int64 {
+	t := clock.Stamp()
+	return t - s.start
+}

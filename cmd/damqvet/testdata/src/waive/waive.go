@@ -1,0 +1,51 @@
+// Package waive seeds waiver-audit findings: unknown marker spellings,
+// markers that attach to nothing, and waivers that suppress nothing —
+// next to the justified waivers elsewhere in the fixtures that the audit
+// must accept.
+package waive
+
+import "sort"
+
+// damqvet:hotpth typo'd marker kind // want "unknown annotation damqvet:hotpth"
+
+// damqvet:hotpath nothing hot starts on the next line // want "damqvet:hotpath attaches to nothing"
+type orphan struct{ n int64 }
+
+// Stale carries an ordered waiver on a loop the rule already accepts
+// through the collect-then-sort idiom, so the waiver suppresses nothing.
+func Stale(m map[string]int) []string {
+	var ks []string
+	// damqvet:ordered the sort below already discharges this // want "stale damqvet:ordered waiver"
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sim and worker reproduce the shard shape so the sharded waiver below
+// has something to (fail to) govern.
+type sim struct{ cycle int64 }
+
+type worker struct {
+	sim *sim
+	n   int64
+}
+
+// tidy mutates only shard-local state; the waiver guards nothing.
+// damqvet:sharded stale: no coordinator write below // want "stale damqvet:sharded waiver"
+func (w *worker) tidy() {
+	w.n++
+}
+
+// Tight is hot and calls an alloc-free helper through a coldcall waiver
+// that therefore suppresses nothing.
+// damqvet:hotpath
+func Tight(w *worker) int64 {
+	w.n++
+	return probeN(w) // damqvet:coldcall stale: probeN is alloc-free // want "stale damqvet:coldcall waiver"
+}
+
+func probeN(w *worker) int64 { return w.n }
+
+var _ = orphan{}

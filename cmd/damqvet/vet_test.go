@@ -43,7 +43,8 @@ func collectWants(t *testing.T, l *Loader, f *ast.File) []*want {
 }
 
 // loadFixtures type-checks the fixture module and returns its packages.
-func loadFixtures(t *testing.T) (*Loader, []*Package) {
+// It takes testing.TB so the analysis benchmark can share the load.
+func loadFixtures(t testing.TB) (*Loader, []*Package) {
 	t.Helper()
 	l, err := NewLoader("testdata/src")
 	if err != nil {
@@ -67,19 +68,30 @@ func loadFixtures(t *testing.T) (*Loader, []*Package) {
 	return l, pkgs
 }
 
+// checkFixtures runs a checker with the given rule families over the
+// fixture module and returns the checker.
+func checkFixtures(t *testing.T, l *Loader, pkgs []*Package, rules []string) *Checker {
+	t.Helper()
+	c, err := NewChecker(l.Fset, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SimAll = true
+	for _, p := range pkgs {
+		c.Add(p)
+	}
+	c.Finish()
+	return c
+}
+
 // TestFixtures runs all rule families over the fixture module and checks
 // findings against the // want comments in both directions: every
 // finding must be expected, and every expectation must fire.
 func TestFixtures(t *testing.T) {
 	l, pkgs := loadFixtures(t)
-	c, err := NewChecker(l.Fset, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.SimAll = true
+	c := checkFixtures(t, l, pkgs, nil)
 	var wants []*want
 	for _, p := range pkgs {
-		c.Check(p)
 		for _, f := range p.Files {
 			wants = append(wants, collectWants(t, l, f)...)
 		}
@@ -108,36 +120,38 @@ func TestFixtures(t *testing.T) {
 // produce nothing.
 func TestRuleSelection(t *testing.T) {
 	l, pkgs := loadFixtures(t)
-	c, err := NewChecker(l.Fset, []string{"zeroalloc"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.SimAll = true
+	var sub []*Package
 	for _, p := range pkgs {
 		if strings.HasSuffix(p.Path, "/det") || strings.HasSuffix(p.Path, "/entry") {
-			c.Check(p)
+			sub = append(sub, p)
 		}
 	}
+	c := checkFixtures(t, l, sub, []string{"zeroalloc"})
 	if len(c.Findings) != 0 {
 		t.Fatalf("zeroalloc-only run over det+entry should be clean, got %v", c.Findings)
 	}
 }
 
 // TestEachFamilyFires guards against a rule family silently going dead:
-// each family on its own must produce at least one finding somewhere in
-// the fixtures.
+// each family must produce at least one finding somewhere in the
+// fixtures. The waiver audit can only run with the full set (it judges
+// markers by what the other families did), so it is exercised through an
+// all-rules run filtered down to its findings.
 func TestEachFamilyFires(t *testing.T) {
 	for _, rule := range AllRules {
 		l, pkgs := loadFixtures(t)
-		c, err := NewChecker(l.Fset, []string{rule})
-		if err != nil {
-			t.Fatal(err)
+		sel := []string{rule}
+		if rule == ruleWaiver {
+			sel = nil
 		}
-		c.SimAll = true
-		for _, p := range pkgs {
-			c.Check(p)
+		c := checkFixtures(t, l, pkgs, sel)
+		n := 0
+		for _, f := range c.Findings {
+			if f.Rule == rule {
+				n++
+			}
 		}
-		if len(c.Findings) == 0 {
+		if n == 0 {
 			t.Errorf("rule family %s produced no findings on the fixtures", rule)
 		}
 	}
@@ -147,5 +161,16 @@ func TestEachFamilyFires(t *testing.T) {
 func TestUnknownRule(t *testing.T) {
 	if _, err := NewChecker(nil, []string{"nosuchrule"}); err == nil {
 		t.Fatal("expected an error for an unknown rule name")
+	}
+}
+
+// TestWaiverNeedsAllRules checks that the waiver audit refuses to run
+// without the attachment records of the other families.
+func TestWaiverNeedsAllRules(t *testing.T) {
+	if _, err := NewChecker(nil, []string{"waiver"}); err == nil {
+		t.Fatal("expected an error for waiver without the other families")
+	}
+	if _, err := NewChecker(nil, []string{"waiver", "zeroalloc"}); err == nil {
+		t.Fatal("expected an error for a partial set including waiver")
 	}
 }

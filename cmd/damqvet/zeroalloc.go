@@ -1,71 +1,137 @@
 package main
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 )
 
-// zeroalloc enforces the 0-allocs/op invariant on functions annotated
-// // damqvet:hotpath. Inside an annotated body it flags the allocation
-// classes the benchmark gate has caught in the past: fmt.* calls,
+// The transitive zero-alloc family. A body annotated with the hotpath
+// marker is a propagation root: the allocation rules apply to it and,
+// through the static call graph, to every function it can reach — a
+// hotpath body may only call callees that are themselves alloc-clean,
+// annotated hot (checked as their own root), or waived at the call line
+// with the coldcall marker after an audit (amortized growth, pool
+// refill). A violation two hops down reports with the call chain that
+// reaches it: "... (hot path: Step -> probe)".
+//
+// Inside any hot-reachable body the pass flags the allocation classes
+// the benchmark gate has caught in the past: fmt.* calls,
 // container/heap operations (every element moves through `any`), string
 // concatenation, closure literals, appends whose backing slice is not
-// reachable from the receiver or a parameter, concrete values boxed into
-// interface arguments, and trace/metrics sink method calls outside a
-// nil-sink guard.
-//
-// Panic arguments and the bodies of `if sink != nil { ... }` guards
-// (over a *Trace, a *Metrics bundle, or an obs instrument) are cold
-// regions: the rules do not apply there.
-func (c *Checker) zeroalloc(p *Package) {
-	for _, f := range p.Files {
-		ann := collectAnnots(c.Fset, f)
-		var hotDecls []*ast.FuncDecl
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+// reachable from the receiver or a parameter, concrete values boxed
+// into interface arguments, and trace/metrics sink method calls outside
+// a nil-sink guard. Panic arguments and the bodies of
+// `if sink != nil { ... }` guards are cold regions: the rules do not
+// apply there and calls inside them are not propagation edges.
+
+// allocScan caches the intraprocedural half of the pass for one body:
+// the construct findings (already filtered by coldcall line waivers),
+// the call edges the transitive pass may descend through, and the
+// waivers that filtered something (credited as suppressing only if the
+// body is actually reached from a hot root).
+type allocScan struct {
+	findings    []Finding
+	calls       []*callSite // non-cold, non-waived module-internal edges
+	suppressors []*marker   // coldcall markers that filtered a direct finding
+	waivedCalls []waivedCall
+}
+
+// waivedCall is a call edge severed by a coldcall waiver; the audit
+// credits the marker only if descending would have found something.
+type waivedCall struct {
+	m    *marker
+	node *funcNode
+}
+
+// zeroallocPass runs the transitive zero-alloc family over the program:
+// every hotpath-annotated declaration or literal is a root, and the
+// obligation propagates depth-first through resolved call edges. A
+// function reached from several roots is checked and reported once,
+// under the first chain that reaches it (deterministic: roots and calls
+// are visited in source order).
+func (c *Checker) zeroallocPass(g *graph) {
+	visited := map[*funcNode]bool{}
+	dirtyMemo := map[*funcNode]int{}
+	var visit func(n *funcNode, root *funcNode, chain []string)
+	visit = func(n, root *funcNode, chain []string) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		scan := c.allocScanOf(n)
+		for _, f := range scan.findings {
+			if len(chain) > 1 {
+				f.Msg += " (hot path: " + chainString(chain) + ")"
+				f.Chain = append([]string(nil), chain...)
 			}
-			if isHotpathFunc(ann, c.Fset, fd) {
-				hotDecls = append(hotDecls, fd)
-				c.checkHotBody(p, fd.Recv, fd.Type, fd.Body)
+			c.Findings = append(c.Findings, f)
+		}
+		for _, m := range scan.suppressors {
+			m.suppressed = true
+		}
+		for _, wc := range scan.waivedCalls {
+			if wc.node != nil && wc.node.hot == nil && c.allocDirty(wc.node, dirtyMemo) {
+				wc.m.suppressed = true
 			}
 		}
-		// Annotated anonymous functions: hot paths built as literals
-		// (e.g. a probe installed into a struct field). Literals inside
-		// an already-hot declaration are skipped — the closure rule has
-		// flagged them there.
-		ast.Inspect(f, func(n ast.Node) bool {
-			if fd, ok := n.(*ast.FuncDecl); ok {
-				for _, hd := range hotDecls {
-					if fd == hd {
-						return false
-					}
-				}
-				return true
+		for _, site := range scan.calls {
+			if site.node.hot != nil {
+				continue // a root of its own
 			}
-			lit, ok := n.(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			if isHotpathLit(ann, c.Fset, lit) {
-				c.checkHotBody(p, nil, lit.Type, lit.Body)
-				return false
-			}
-			return true
-		})
+			next := append(append([]string(nil), chain...), site.node.name(root.pkg))
+			visit(site.node, root, next)
+		}
+	}
+	for _, n := range g.nodes {
+		if n.hot != nil {
+			visit(n, n, []string{n.name(n.pkg)})
+		}
 	}
 }
 
-// span is a half-open-ish source region [lo, hi] in token.Pos space.
-type span struct{ lo, hi token.Pos }
+// allocDirty reports whether checking n (and its non-hot, non-waived
+// callees, transitively) would produce at least one finding — the test
+// that keeps coldcall waivers honest. Cycles count as clean while being
+// explored.
+func (c *Checker) allocDirty(n *funcNode, memo map[*funcNode]int) bool {
+	const exploring, clean, dirty = 1, 2, 3
+	switch memo[n] {
+	case exploring, clean:
+		return false
+	case dirty:
+		return true
+	}
+	memo[n] = exploring
+	scan := c.allocScanOf(n)
+	res := clean
+	if len(scan.findings) > 0 {
+		res = dirty
+	}
+	for _, site := range scan.calls {
+		if res == dirty {
+			break
+		}
+		if site.node.hot == nil && c.allocDirty(site.node, memo) {
+			res = dirty
+		}
+	}
+	memo[n] = res
+	return res == dirty
+}
 
-// checkHotBody applies the zeroalloc rules to one annotated function
+// allocScanOf computes (and caches) the intraprocedural scan of one
 // body.
-func (c *Checker) checkHotBody(p *Package, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
-	info := p.Info
-	cold := coldSpans(info, body)
+func (c *Checker) allocScanOf(n *funcNode) *allocScan {
+	if n.alloc != nil {
+		return n.alloc
+	}
+	scan := &allocScan{}
+	n.alloc = scan
+	info := n.pkg.Info
+
+	cold := coldSpans(info, n.body)
 	inCold := func(pos token.Pos) bool {
 		for _, s := range cold {
 			if s.lo <= pos && pos <= s.hi {
@@ -75,58 +141,115 @@ func (c *Checker) checkHotBody(p *Package, recv *ast.FieldList, ftype *ast.FuncT
 		return false
 	}
 
+	var recv *ast.FieldList
+	var ftype *ast.FuncType
+	if n.decl != nil {
+		recv, ftype = n.decl.Recv, n.decl.Type
+	} else {
+		ftype = n.lit.Type
+	}
 	allowed := map[types.Object]bool{}
 	paramObjects(info, recv, ftype, allowed)
-	addDerivedLocals(info, body, allowed)
+	addDerivedLocals(info, n.body, allowed)
 
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil {
+	sites := map[*ast.CallExpr][]*callSite{}
+	for _, s := range n.calls {
+		sites[s.call] = append(sites[s.call], s)
+	}
+
+	// raw findings and candidate edges, before waiver filtering.
+	var raw []Finding
+	flag := func(pos token.Pos, format string, args ...any) {
+		raw = append(raw, Finding{Pos: c.Fset.Position(pos), Rule: ruleZeroalloc, Msg: fmt.Sprintf(format, args...)})
+	}
+	type edge struct {
+		site *callSite
+		line int
+	}
+	var edges []edge
+
+	ast.Inspect(n.body, func(nd ast.Node) bool {
+		if nd == nil {
 			return true
 		}
-		if inCold(n.Pos()) {
+		if inCold(nd.Pos()) {
 			return false
 		}
-		switch x := n.(type) {
+		switch x := nd.(type) {
 		case *ast.FuncLit:
-			c.report(x.Pos(), ruleZeroalloc, "closure literal in hot path allocates; hoist it or pass a method value built at construction time")
+			flag(x.Pos(), "closure literal in hot path allocates; hoist it or pass a method value built at construction time")
 			return false
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && isStringExpr(info, x) {
-				c.report(x.Pos(), ruleZeroalloc, "string concatenation in hot path allocates")
+				flag(x.Pos(), "string concatenation in hot path allocates")
 			}
 		case *ast.AssignStmt:
 			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringExpr(info, x.Lhs[0]) {
-				c.report(x.Pos(), ruleZeroalloc, "string concatenation in hot path allocates")
+				flag(x.Pos(), "string concatenation in hot path allocates")
 			}
 		case *ast.CallExpr:
-			c.checkHotCall(p, x, allowed)
+			if c.checkHotCall(n.pkg, x, allowed, flag) {
+				for _, site := range sites[x] {
+					if site.node != nil {
+						edges = append(edges, edge{site, c.Fset.Position(x.Pos()).Line})
+					}
+				}
+			}
 		}
 		return true
 	})
+
+	// A coldcall waiver governs its source line: it filters every alloc
+	// finding on the line and severs every call edge leaving it.
+	for _, f := range raw {
+		if m := n.ann.markerFor(markColdcall, f.Pos.Line); m != nil {
+			already := false
+			for _, have := range scan.suppressors {
+				if have == m {
+					already = true
+				}
+			}
+			if !already {
+				scan.suppressors = append(scan.suppressors, m)
+			}
+			continue
+		}
+		scan.findings = append(scan.findings, f)
+	}
+	for _, e := range edges {
+		if m := n.ann.markerFor(markColdcall, e.line); m != nil {
+			scan.waivedCalls = append(scan.waivedCalls, waivedCall{m: m, node: e.site.node})
+			continue
+		}
+		scan.calls = append(scan.calls, e.site)
+	}
+	return scan
 }
 
-// checkHotCall applies the per-call rules: fmt usage, non-receiver
-// appends, unguarded trace methods, and interface boxing of arguments.
-func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types.Object]bool) {
+// checkHotCall applies the per-call rules: fmt usage, container/heap,
+// non-receiver appends, unguarded trace methods, and interface boxing of
+// arguments. It reports whether the call survives as a propagation edge
+// (a flagged or builtin call is a finding or a no-op, not an edge).
+func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types.Object]bool, flag func(token.Pos, string, ...any)) bool {
 	info := p.Info
 	if calleeFromPkg(info, call, "fmt", "") {
 		sel := call.Fun.(*ast.SelectorExpr)
-		c.report(call.Pos(), ruleZeroalloc, "fmt.%s in hot path allocates; move formatting off the hot path", sel.Sel.Name)
-		return
+		flag(call.Pos(), "fmt.%s in hot path allocates; move formatting off the hot path", sel.Sel.Name)
+		return false
 	}
 	if calleeFromPkg(info, call, "container/heap", "") {
 		// heap.Interface moves every element through `any`: each Push
 		// boxes its argument and each Pop boxes the return, one
 		// allocation per event no matter what the elements are. The
-		// returns also suppress the generic boxing finding on the same
+		// return also suppresses the generic boxing finding on the same
 		// call — one finding, naming the real fix.
 		sel := call.Fun.(*ast.SelectorExpr)
-		c.report(call.Pos(), ruleZeroalloc, "container/heap.%s in hot path boxes through any; use a typed heap (see internal/eventsim.Engine)", sel.Sel.Name)
-		return
+		flag(call.Pos(), "container/heap.%s in hot path boxes through any; use a typed heap (see internal/eventsim.Engine)", sel.Sel.Name)
+		return false
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
 		if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
-			return // argument is a cold span; the function is aborting
+			return false // argument is a cold span; the function is aborting
 		}
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
@@ -137,20 +260,21 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 				ro = objOf(info, root)
 			}
 			if ro == nil || !allowed[ro] {
-				c.report(call.Pos(), ruleZeroalloc, "append to a slice not reachable from the receiver or a parameter; growth allocates on the hot path")
+				flag(call.Pos(), "append to a slice not reachable from the receiver or a parameter; growth allocates on the hot path")
 			}
 		}
-		return
+		return false
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if _, isMethod := info.Selections[sel]; isMethod {
 			if tv, ok := info.Types[sel.X]; ok && isSinkPointer(tv.Type) {
-				c.report(call.Pos(), ruleZeroalloc, "trace/metrics method call not dominated by a nil-sink guard; wrap it in `if sink != nil { ... }`")
-				return
+				flag(call.Pos(), "trace/metrics method call not dominated by a nil-sink guard; wrap it in `if sink != nil { ... }`")
+				return false
 			}
 		}
 	}
-	c.checkBoxing(p, call)
+	c.checkBoxing(p, call, flag)
+	return true
 }
 
 // checkBoxing flags concrete, non-pointer-shaped values passed where the
@@ -158,7 +282,7 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 // allocates. Pointer-shaped kinds (pointers, channels, maps, funcs,
 // unsafe pointers) convert without allocating and are permitted, as are
 // nil and values that are already interfaces.
-func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr) {
+func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr, flag func(token.Pos, string, ...any)) {
 	info := p.Info
 	ftv, ok := info.Types[call.Fun]
 	if !ok {
@@ -167,7 +291,7 @@ func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr) {
 	if ftv.IsType() {
 		// Conversion expression T(x).
 		if isInterface(ftv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
-			c.report(call.Args[0].Pos(), ruleZeroalloc, "conversion to interface boxes a concrete value and allocates on the hot path")
+			flag(call.Args[0].Pos(), "conversion to interface boxes a concrete value and allocates on the hot path")
 		}
 		return
 	}
@@ -191,7 +315,7 @@ func (c *Checker) checkBoxing(p *Package, call *ast.CallExpr) {
 			continue
 		}
 		if isInterface(pt) && boxes(info, arg) {
-			c.report(arg.Pos(), ruleZeroalloc, "argument boxed into interface parameter allocates on the hot path; pass a pointer or restructure the call")
+			flag(arg.Pos(), "argument boxed into interface parameter allocates on the hot path; pass a pointer or restructure the call")
 		}
 	}
 }
@@ -219,6 +343,9 @@ func coldSpans(info *types.Info, body *ast.BlockStmt) []span {
 	})
 	return spans
 }
+
+// span is a half-open-ish source region [lo, hi] in token.Pos space.
+type span struct{ lo, hi token.Pos }
 
 // isNilSinkGuard matches `s != nil` (either operand order) where s has a
 // pointer-to-sink type (Trace/Metrics/Observer-named, or any obs-package

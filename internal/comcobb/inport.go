@@ -305,7 +305,9 @@ func (in *InPort) onParityError(link *Link, sym wireSymbol) bool {
 			t.add(cyc, 0, in.name, "parity error on header byte %#02x; packet dropped, NACK", sym.b)
 		}
 		link.postNACK()
-		f.countNACK()
+		if f != nil {
+			f.countNACK()
+		}
 		in.state = rxDrop
 		return true
 	case rxLength:
@@ -326,7 +328,9 @@ func (in *InPort) onParityError(link *Link, sym wireSymbol) bool {
 		}
 		in.cur = nil
 		link.postNACK()
-		f.countNACK()
+		if f != nil {
+			f.countNACK()
+		}
 		in.state = rxDrop
 		return true
 	default: // rxData
@@ -334,7 +338,9 @@ func (in *InPort) onParityError(link *Link, sym wireSymbol) bool {
 		if p.granted {
 			if !p.poisoned {
 				p.poisoned = true
-				f.countPoisoned()
+				if f != nil {
+					f.countPoisoned()
+				}
 				if t != nil {
 					t.add(cyc, 0, in.name, "parity error mid-cut-through: packet poisoned, no NACK")
 				}
@@ -350,7 +356,9 @@ func (in *InPort) onParityError(link *Link, sym wireSymbol) bool {
 		in.releasePacketSlots(p)
 		in.cur = nil
 		link.postNACK()
-		f.countNACK()
+		if f != nil {
+			f.countNACK()
+		}
 		in.state = rxDrop
 		return true
 	}

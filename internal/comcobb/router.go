@@ -68,6 +68,7 @@ func (r *Router) Set(header byte, route Route) error {
 // error surfaced to the caller.
 func (r *Router) Lookup(header byte) (Route, error) {
 	if !r.present[header] {
+		// damqvet:coldcall an unknown header is a configuration error; the chip aborts the run
 		return Route{}, fmt.Errorf("comcobb: input %d has no circuit for header %#x", r.port, header)
 	}
 	return r.table[header], nil

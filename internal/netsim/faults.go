@@ -170,6 +170,7 @@ func (s *Sim) applyDueSlotFaults() {
 // state — so concurrent shards may query it; the drop counters are
 // shard-local (the fault metrics counter only exists with an observer
 // attached, which forces serial stepping).
+// damqvet:sharded audited: the fault metrics counter only exists with an observer attached, which forces serial stepping; everything else mutated is shard-local
 // damqvet:hotpath
 func (sh *shard) dropOnFaultedLink(st, si, out int, measuring bool) bool {
 	s := sh.sim

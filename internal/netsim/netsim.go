@@ -579,6 +579,7 @@ func (s *Sim) Close() {
 // by this shard). On the 0→1 occupancy transition the switch re-enters
 // the active set: its arbiter is fast-forwarded through every empty round
 // it was skipped for, and it is re-inserted into the sorted index list.
+// damqvet:sharded audited: st,si is always an owned coordinate (si in [lo,hi)), so the switch and its arbiter belong to this shard's partition
 // damqvet:hotpath
 func (sh *shard) noteAccept(st, si int) {
 	s := sh.sim
@@ -758,6 +759,7 @@ func (s *Sim) runPhase(w, phase int) {
 // popping. Mutates only this shard's arbiters and scratch; reads peer
 // shards' buffers through the blocking probes, which is safe because no
 // buffer changes until the phase barrier.
+// damqvet:sharded audited: arbitration touches only owned switches (si in [lo,hi) or the owned active list); peer state is read-only through probes
 // damqvet:hotpath
 func (sh *shard) phaseArbitrateRun() {
 	s := sh.sim
@@ -797,6 +799,7 @@ func (sh *shard) arbitrateOne(st, si int, swc *sw.Switch) {
 // order; deliveries and fault drops are finished locally, inter-stage
 // transfers are routed into the destination shard's outbox. Afterwards
 // switches whose last packet left drop out of the active set.
+// damqvet:sharded audited: grants recorded in phase 1 name only owned switches; cross-shard handoff goes through the outboxes, drained after the barrier
 // damqvet:hotpath
 func (sh *shard) phaseMoveRun() {
 	s := sh.sim
@@ -851,6 +854,7 @@ func (sh *shard) phaseMoveRun() {
 // its switches, and the shuffle wiring delivers at most one packet per
 // input port per cycle, so admission decisions see exactly the state a
 // serial sweep would.
+// damqvet:sharded audited: inbox entries target owned switches by construction, and the sim-level metrics only exist with an observer attached, which forces serial stepping
 // damqvet:hotpath
 func (sh *shard) phaseInjectRun() {
 	s := sh.sim
@@ -923,6 +927,7 @@ func (sh *shard) phaseInjectRun() {
 }
 
 // enqueueSource routes a newborn packet toward the network.
+// damqvet:sharded audited: the source queue index is an owned source, and the sim-level metrics only exist with an observer attached, which forces serial stepping
 // damqvet:hotpath
 func (sh *shard) enqueueSource(p *packet.Packet, measuring bool) {
 	s := sh.sim
@@ -958,6 +963,7 @@ func (sh *shard) enqueueSource(p *packet.Packet, measuring bool) {
 
 // inject attempts to place p into its stage-0 buffer. The source belongs
 // to this shard, so the stage-0 switch does too.
+// damqvet:sharded audited: FirstStageSwitch of an owned source is an owned switch
 // damqvet:hotpath
 func (sh *shard) inject(p *packet.Packet) bool {
 	s := sh.sim
@@ -978,6 +984,7 @@ func (sh *shard) inject(p *packet.Packet) bool {
 // bias the mean. The birth-phase draw comes from this shard's own phase
 // stream, in this shard's delivery order — deterministic at any worker
 // count.
+// damqvet:sharded audited: mutations are shard partials plus sim-level metrics, which only exist with an observer attached, forcing serial stepping
 // damqvet:hotpath
 func (sh *shard) deliver(p *packet.Packet, measuring bool) {
 	if !measuring {

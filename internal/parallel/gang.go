@@ -65,13 +65,19 @@ func (g *Gang) loop(w int, start chan int) {
 // call runs one worker's phase under a recover so a shard panic does not
 // kill the process from a worker goroutine (it is re-raised by Run).
 func (g *Gang) call(w, phase int) {
-	defer func() {
-		if r := recover(); r != nil {
-			g.rec[w] = r
-		}
-	}()
+	defer g.recoverInto(w)
 	g.rec[w] = nil
 	g.run(w, phase)
+}
+
+// recoverInto records a panic raised by worker w's phase function. It
+// must be the deferred function itself (not wrapped in a literal) for
+// recover to see the panic; deferring the bound method also keeps the
+// phase hot path free of a closure allocation.
+func (g *Gang) recoverInto(w int) {
+	if r := recover(); r != nil {
+		g.rec[w] = r
+	}
 }
 
 // Run executes phase on every worker and returns when all have finished —

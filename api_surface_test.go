@@ -1,0 +1,172 @@
+package damq_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite the exported-API golden file")
+
+// TestExportedAPISurface pins the damq facade's exported API — every
+// const, var, type, function, and method signature — against
+// testdata/api_surface.golden. The facade is the package's public
+// contract: an accidental rename, signature change, or new export shows
+// up here as a readable diff instead of a downstream build break.
+// Regenerate after intentional API work with:
+//
+//	go test -run ExportedAPISurface -update-api .
+func TestExportedAPISurface(t *testing.T) {
+	got := renderAPISurface(t, ".")
+	path := filepath.Join("testdata", "api_surface.golden")
+	if *updateAPI {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-api to create the golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API diverges from %s (run with -update-api after intentional changes):\n%s",
+			path, diffLines(string(want), got))
+	}
+}
+
+// renderAPISurface parses the package's non-test files and renders one
+// line per exported declaration, sorted, with func bodies and default
+// values elided.
+func renderAPISurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["damq"]
+	if !ok {
+		t.Fatalf("package damq not found in %s (got %v)", dir, pkgs)
+	}
+	var lines []string
+	emit := func(node any) {
+		var buf bytes.Buffer
+		if err := (&printer.Config{Mode: printer.RawFormat}).Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		s := strings.Join(strings.Fields(buf.String()), " ")
+		lines = append(lines, s)
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				emit(&ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type})
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							emit(&ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{
+								&ast.TypeSpec{Name: sp.Name, Assign: sp.Assign, Type: exportedOnly(sp.Type)},
+							}})
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								// Names only: values are implementation detail,
+								// the golden pins that the identifier exists.
+								lines = append(lines, fmt.Sprintf("%s %s", strings.ToLower(d.Tok.String()), name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok {
+		typ = idx.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// exportedOnly strips unexported fields from struct types so the golden
+// tracks the public shape, not private layout.
+func exportedOnly(typ ast.Expr) ast.Expr {
+	st, ok := typ.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return typ
+	}
+	var fields []*ast.Field
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 || len(f.Names) == 0 {
+			fields = append(fields, &ast.Field{Names: names, Type: f.Type, Tag: f.Tag})
+		}
+	}
+	return &ast.StructType{Fields: &ast.FieldList{List: fields}}
+}
+
+// diffLines renders a minimal added/removed line diff for test output.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(lines identical but ordering or whitespace differs)"
+	}
+	return b.String()
+}

@@ -7,10 +7,12 @@
 //	omegasim -exp table5            # Table 5 (slot-count sweep)
 //	omegasim -exp table6            # Table 6 (hot spot)
 //	omegasim -exp figure3           # Figure 3 (latency vs throughput)
+//	omegasim -exp modern            # 1988 vs 2026 sharing policies
 //	omegasim -exp varlen            # variable-length extension
 //	omegasim -exp async             # asynchronous event-driven extension
 //	omegasim -exp async -packets 200000       # ~200k delivered packets/point
 //	omegasim -exp run -kind damq -load 0.6 -protocol blocking  # one run
+//	omegasim -exp run -kind dt:alpha=0.5 -shared -protocol discarding  # pooled switch
 //	omegasim -exp run -inputs 1024 -workers 8                  # sharded 1024×1024
 //
 // -scale quick|full selects run length (full is what EXPERIMENTS.md
@@ -43,10 +45,11 @@ import (
 
 func main() {
 	exp := flag.String("exp", "table4",
-		"experiment: table3|table4|table5|table6|figure3|varlen|async|treesat|tail|switch4|radix|ablation|faults|run")
-	svgPath := flag.String("svg", "", "figure3: also write an SVG figure to this path")
+		"experiment: table3|table4|table5|table6|figure3|modern|varlen|async|treesat|tail|switch4|radix|ablation|faults|run")
+	svgPath := flag.String("svg", "", "figure3/modern: also write an SVG figure to this path")
 	scaleName := flag.String("scale", "quick", "simulation scale: quick|full")
-	kind := flag.String("kind", "damq", "run: buffer kind")
+	kind := flag.String("kind", "damq", `run: buffer kind, optionally with sharing knobs ("dt:alpha=0.5,classes=4")`)
+	shared := flag.Bool("shared", false, "run: pool all of a switch's input buffers into one shared storage group")
 	load := flag.Float64("load", 0.5, "run: offered load")
 	inputs := flag.Int("inputs", 0, "run: network size (ports per side, power of the radix; 0 = the paper's 64)")
 	capacity := flag.Int("capacity", 4, "run: slots per input buffer")
@@ -124,6 +127,17 @@ func main() {
 			orDie(os.WriteFile(*svgPath, []byte(svg), 0o644))
 			fmt.Printf("\nSVG figure written to %s\n", *svgPath)
 		}
+	case "modern":
+		series, err := experiments.Modern(nil, 4, nil, sc)
+		orDie(err)
+		fmt.Print(experiments.RenderModern(series))
+		if *svgPath != "" {
+			svg := plot.SVG(series, plot.Options{
+				Title: "1988 vs 2026: DAMQ vs DT/FB/BSHARE, 4 slots, uniform traffic, discarding",
+			})
+			orDie(os.WriteFile(*svgPath, []byte(svg), 0o644))
+			fmt.Printf("\nSVG figure written to %s\n", *svgPath)
+		}
 	case "ablation":
 		conn, err := experiments.AblationConnectivity(sc)
 		orDie(err)
@@ -177,14 +191,14 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderFaultCurve(rows))
 	case "run":
-		runOne(ctx, *kind, *load, *inputs, *capacity, *protocol, *policy, *hot, sc, workersSet, *metricsPath, *metricsInterval, *faultsSpec)
+		runOne(ctx, *kind, *shared, *load, *inputs, *capacity, *protocol, *policy, *hot, sc, workersSet, *metricsPath, *metricsInterval, *faultsSpec)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 }
 
-func runOne(ctx context.Context, kindName string, load float64, inputs, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, workersSet bool, metricsPath string, metricsInterval int64, faultsSpec string) {
-	kind, err := damq.ParseBufferKind(kindName)
+func runOne(ctx context.Context, kindName string, shared bool, load float64, inputs, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, workersSet bool, metricsPath string, metricsInterval int64, faultsSpec string) {
+	kind, sharing, err := damq.ParseBufferSpec(kindName)
 	orDie(err)
 	pol, err := damq.ParseArbitrationPolicy(policyName)
 	orDie(err)
@@ -222,6 +236,8 @@ func runOne(ctx context.Context, kindName string, load float64, inputs, capacity
 		WarmupCycles:  sc.Warmup,
 		MeasureCycles: sc.Measure,
 		Seed:          sc.Seed,
+		SharedPool:    shared,
+		Sharing:       sharing,
 	}, opts...)
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
@@ -233,7 +249,11 @@ func runOne(ctx context.Context, kindName string, load float64, inputs, capacity
 		orDie(os.WriteFile(metricsPath, raw, 0o644))
 		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
 	}
-	fmt.Printf("buffer              %v (%d slots)\n", kind, capacity)
+	poolNote := ""
+	if shared {
+		poolNote = ", switch-wide shared pool"
+	}
+	fmt.Printf("buffer              %v (%d slots%s)\n", kind, capacity, poolNote)
 	fmt.Printf("protocol            %v, %v arbitration\n", proto, pol)
 	fmt.Printf("offered load        %.3f\n", res.OfferedLoad())
 	fmt.Printf("throughput          %.3f packets/input/cycle\n", res.Throughput())

@@ -72,6 +72,10 @@ var (
 	// ErrBadWorkers reports an intra-run worker count the network cannot
 	// shard to (more workers than switches per stage).
 	ErrBadWorkers = cfgerr.ErrBadWorkers
+	// ErrBadSharing reports invalid sharing-policy knobs: parameters set
+	// for a buffer kind that does not read them, out-of-range values, or
+	// a shared pool requested for a kind without pooled storage.
+	ErrBadSharing = cfgerr.ErrBadSharing
 )
 
 // BufferKind identifies one of the four buffer organizations.
@@ -88,13 +92,43 @@ const (
 	DAFC = buffer.DAFC
 )
 
-// BufferKinds lists all four kinds.
+// The modern (post-1988) admission policies over DAMQ's pooled storage:
+// dynamic thresholds, per-class flexible sharing with reservations, and
+// queueing-delay-driven sharing. See internal/buffer and DESIGN.md §"The
+// admission/storage split".
+const (
+	DT     = buffer.DT
+	FB     = buffer.FB
+	BSHARE = buffer.BSHARE
+)
+
+// BufferKinds lists the paper's four kinds.
 func BufferKinds() []BufferKind { return buffer.Kinds() }
+
+// ModernBufferKinds lists the 2026 sharing policies (DT, FB, BSHARE).
+func ModernBufferKinds() []BufferKind { return buffer.ModernKinds() }
 
 // ParseBufferKind converts a name such as "damq" or "DAMQ" to its kind
 // (case-insensitive). Unknown names return an error wrapping ErrBadKind
 // that lists the valid names.
 func ParseBufferKind(s string) (BufferKind, error) { return buffer.ParseKind(s) }
+
+// BufferSharing tunes the modern admission policies; the zero value means
+// defaults (alpha 1.0, 2 classes, delay target 16 cycles). The 1988 kinds
+// ignore it, and Validate rejects knobs set on a kind that does not read
+// them (ErrBadSharing).
+type BufferSharing = buffer.Sharing
+
+// ParseBufferSpec parses a CLI-style buffer spec: a kind name optionally
+// followed by sharing knobs, e.g. "damq", "dt:alpha=0.5", or
+// "fb:alpha=2,classes=4". Errors wrap ErrBadKind or ErrBadSharing.
+func ParseBufferSpec(s string) (BufferKind, BufferSharing, error) {
+	cfg, err := buffer.ParseSpec(s)
+	if err != nil {
+		return 0, BufferSharing{}, err
+	}
+	return cfg.Kind, cfg.Sharing, nil
+}
 
 // Buffer is the behavioural interface shared by all four organizations
 // under the long-clock model. See internal/buffer for semantics.
@@ -206,6 +240,11 @@ type SwitchConfig struct {
 	BufferKind BufferKind
 	Capacity   int // slots per input buffer
 	Policy     ArbitrationPolicy
+	// SharedPool pools all input ports' storage into one Ports*Capacity
+	// slot group. Requires a pooled kind (DAMQ, DAFC, DT, FB, BSHARE).
+	SharedPool bool
+	// Sharing tunes the modern admission policies (DT/FB/BSHARE).
+	Sharing BufferSharing
 }
 
 // Validate checks the config; failures wrap the ErrBad* sentinels.
@@ -217,6 +256,8 @@ func (cfg SwitchConfig) internal() sw.Config {
 		BufferKind: cfg.BufferKind,
 		Capacity:   cfg.Capacity,
 		Policy:     cfg.Policy,
+		SharedPool: cfg.SharedPool,
+		Sharing:    cfg.Sharing,
 	}
 }
 
@@ -516,6 +557,23 @@ type Figure3Point = stats.Point
 func ReproduceFigure3(kinds []BufferKind, capacity int, sc ExperimentScale, opts ...Option) ([]Figure3Series, error) {
 	return experiments.Figure3(kinds, capacity, nil, applyOptions(opts).scaleFor(sc))
 }
+
+// ModernVariant names one sharing configuration of the 1988-vs-2026
+// comparison: a buffer kind, whether the switch's inputs pool their
+// storage, and the policy knobs.
+type ModernVariant = experiments.ModernVariant
+
+// ReproduceModern reruns the Figure 3 sweep over modern shared-buffer
+// admission policies (DT, FB, BSHARE, with and without a switch-wide
+// shared pool) against the 1988 DAMQ baseline. nil variants selects the
+// default comparison set (experiments.ModernVariants).
+func ReproduceModern(variants []ModernVariant, capacity int, sc ExperimentScale, opts ...Option) ([]Figure3Series, error) {
+	return experiments.Modern(variants, capacity, nil, applyOptions(opts).scaleFor(sc))
+}
+
+// RenderModern formats the 1988-vs-2026 sweep as a summary table plus the
+// per-variant curves and ASCII plot.
+func RenderModern(series []Figure3Series) string { return experiments.RenderModern(series) }
 
 // ReproduceVarLen runs the paper's variable-length-packet outlook as an
 // experiment: fixed 1-slot vs uniform 1-4-slot packets at equal storage.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"damq/internal/cfgerr"
+	"damq/internal/names"
 	"damq/internal/obs"
 )
 
@@ -48,29 +49,17 @@ func (p Policy) String() string {
 	}
 }
 
+// policyNames lists the policies in enum order for the shared parser.
+var policyNames = [...]string{"dumb", "smart"}
+
 // ParsePolicy converts "dumb" or "smart" (any case) to a Policy. The
 // error wraps cfgerr.ErrBadPolicy.
 func ParsePolicy(s string) (Policy, error) {
-	switch lowerASCII(s) {
-	case "dumb":
-		return Dumb, nil
-	case "smart":
-		return Smart, nil
+	if i := names.Index(s, policyNames[:]); i >= 0 {
+		return Policy(i), nil
 	}
-	return 0, fmt.Errorf("arbiter: unknown policy %q (want dumb|smart): %w", s, cfgerr.ErrBadPolicy)
-}
-
-// lowerASCII lower-cases ASCII letters without a strings import.
-func lowerASCII(s string) string {
-	out := make([]byte, len(s))
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return string(out)
+	return 0, fmt.Errorf("arbiter: unknown policy %q (want %s): %w",
+		s, names.List(policyNames[:]), cfgerr.ErrBadPolicy)
 }
 
 // View is what the arbiter can see of the switch each cycle: the state of

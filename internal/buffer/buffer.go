@@ -1,32 +1,59 @@
-// Package buffer implements the four input-port buffer organizations
-// compared in Tamir & Frazier (1988) under the long-clock packet model:
+// Package buffer implements the input-port buffer organizations compared
+// in Tamir & Frazier (1988) under the long-clock packet model, plus their
+// modern successors, all as compositions of one storage structure with
+// one admission policy:
 //
-//   - FIFO: a single first-in-first-out queue over a shared slot pool.
-//   - SAMQ: statically allocated multi-queue — one FIFO queue per output
-//     port, each with a fixed share of the slots, all in one RAM with a
-//     single read port.
-//   - SAFC: statically allocated fully connected — like SAMQ but each
-//     queue has its own RAM, so every queue of the buffer can be read in
-//     the same cycle.
-//   - DAMQ: dynamically allocated multi-queue — one FIFO queue per output
-//     port threaded through a shared slot pool with hardware linked lists
-//     (the paper's contribution).
+//   - Storage is always the paper's DAMQ slot pool (SlotPool): fixed
+//     slots threaded into per-queue linked lists by per-slot pointer
+//     registers. A FIFO is the pool with a single queue; multi-queue
+//     kinds give each output port its own queue.
+//   - An AdmissionPolicy decides, from read-only occupancy state, whether
+//     a routed packet may enter. It is pure and allocation-free.
 //
-// All four expose the same Buffer interface so the switch and network
+// The 1988 kinds under this split:
+//
+//   - FIFO: complete sharing × single queue. Only the head packet is
+//     visible to the crossbar — head-of-line blocking.
+//   - SAMQ: complete partitioning × per-output queues, one read port.
+//   - SAFC: complete partitioning × per-output queues, every queue its
+//     own read port.
+//   - DAMQ: complete sharing × per-output queues (the paper's
+//     contribution).
+//   - DAFC: complete sharing × per-output queues with SAFC connectivity
+//     (the design-space corner the connectivity ablation measures).
+//
+// And the 2026 kinds, which only exist because admission is a separate
+// axis:
+//
+//   - DT: classic Dynamic Threshold (Choudhury & Hahne) — a queue may
+//     hold at most alpha × current free space.
+//   - FB: flexible sharing across priority classes (Apostolaki et al.) —
+//     per-class reserved quotas plus thresholds that halve per class.
+//   - BSHARE: queueing-delay-driven sharing (Agarwal et al.) — a queue
+//     whose head packet overstays the delay target loses share.
+//
+// All kinds expose the same Buffer interface so the switch and network
 // simulators are parameterized only by buffer kind. Storage is counted in
 // slots; fixed-length experiments use one slot per packet, the
-// variable-length extension uses several.
+// variable-length extension uses several. NewSharedGroup builds the
+// switch-wide shared-pool mode: one storage group spanning every input
+// port of a switch.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"damq/internal/cfgerr"
+	"damq/internal/names"
 	"damq/internal/packet"
 )
 
-// Kind identifies one of the paper's four buffer organizations.
+// Kind identifies a buffer organization: a (policy, storage-layout,
+// connectivity) triple.
 type Kind int
 
 const (
@@ -42,11 +69,17 @@ const (
 	// with the outputs does not provide a significant boost" — see the
 	// connectivity ablation in internal/experiments.
 	DAFC
+	// DT is the classic Dynamic Threshold policy over DAMQ storage.
+	DT
+	// FB is per-priority-class flexible sharing over DAMQ storage.
+	FB
+	// BSHARE is queueing-delay-driven sharing over DAMQ storage.
+	BSHARE
 )
 
-var kindNames = [...]string{"FIFO", "SAMQ", "SAFC", "DAMQ", "DAFC"}
+var kindNames = [...]string{"FIFO", "SAMQ", "SAFC", "DAMQ", "DAFC", "DT", "FB", "BSHARE"}
 
-// String returns the paper's name for the buffer kind.
+// String returns the canonical name for the buffer kind.
 func (k Kind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {
 		return fmt.Sprintf("Kind(%d)", int(k))
@@ -54,56 +87,126 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// PolicyName is the short name of the admission policy the kind composes
+// over the slot pool, for error messages, metrics, and reports.
+func (k Kind) PolicyName() string {
+	switch k {
+	case SAMQ, SAFC:
+		return completePartition{}.Name()
+	case DT:
+		return dynThreshold{}.Name()
+	case FB:
+		return fbSharing{}.Name()
+	case BSHARE:
+		return bshare{}.Name()
+	default:
+		return completeSharing{}.Name()
+	}
+}
+
 // Kinds lists the paper's four buffer kinds in its comparison order.
-// The DAFC ablation variant is excluded; use AllKinds to include it.
+// The DAFC ablation variant and the modern policies are excluded; use
+// AllKinds or ModernKinds.
 func Kinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ} }
 
-// AllKinds lists every constructible kind, including the DAFC ablation.
-func AllKinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ, DAFC} }
+// ModernKinds lists the post-1988 sharing policies.
+func ModernKinds() []Kind { return []Kind{DT, FB, BSHARE} }
+
+// AllKinds lists every constructible kind: the paper's four, the DAFC
+// ablation, and the modern policies.
+func AllKinds() []Kind { return []Kind{FIFO, SAMQ, SAFC, DAMQ, DAFC, DT, FB, BSHARE} }
+
+// KindModern reports whether k is one of the post-1988 policies.
+func KindModern(k Kind) bool { return k == DT || k == FB || k == BSHARE }
+
+// KindSharesPool reports whether k's storage may span all input ports of
+// a switch as one shared group (NewSharedGroup). True for every
+// dynamically pooled kind; the statically partitioned SAMQ/SAFC and the
+// single-queue FIFO pre-commit their layout per port by definition.
+func KindSharesPool(k Kind) bool {
+	return k == DAMQ || k == DAFC || KindModern(k)
+}
+
+// KindUsesClock reports whether k's admission policy reads packet ages,
+// requiring the owning switch to tick its buffers each long cycle.
+func KindUsesClock(k Kind) bool { return k == BSHARE }
 
 // ParseKind converts a name like "damq" (any case) to its Kind. Its
 // error lists every valid name and wraps cfgerr.ErrBadKind so CLIs can
 // classify it without string matching.
 func ParseKind(s string) (Kind, error) {
-	for i, n := range kindNames {
-		if equalFold(s, n) {
-			return Kind(i), nil
-		}
+	if i := names.Index(s, kindNames[:]); i >= 0 {
+		return Kind(i), nil
 	}
-	valid := ""
-	for i, n := range kindNames {
-		if i > 0 {
-			valid += "|"
-		}
-		for j := 0; j < len(n); j++ {
-			valid += string(n[j] | 0x20)
-		}
-	}
-	return 0, fmt.Errorf("buffer: unknown kind %q (want %s): %w", s, valid, cfgerr.ErrBadKind)
+	return 0, fmt.Errorf("buffer: unknown kind %q (want %s): %w",
+		s, names.List(kindNames[:]), cfgerr.ErrBadKind)
 }
 
-// equalFold is a tiny ASCII-only case-insensitive comparison, avoiding a
-// strings import for one call site.
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
+// ParseSpec parses a buffer spec of the form "kind" or
+// "kind:key=value,key=value", returning a Config with Kind and Sharing
+// set (the caller supplies geometry). Keys tune the modern admission
+// policies:
+//
+//	alpha=F    threshold multiplier for DT/FB/BSHARE (float, > 0)
+//	classes=N  priority class count for FB (int, >= 1)
+//	delay=N    head-of-line delay target in cycles for BSHARE (int, >= 1)
+//
+// Examples: "damq", "dt:alpha=2", "fb:classes=4,alpha=1.5",
+// "bshare:delay=32". Errors wrap cfgerr.ErrBadKind or
+// cfgerr.ErrBadSharing.
+func ParseSpec(s string) (Config, error) {
+	name, params, hasParams := strings.Cut(s, ":")
+	k, err := ParseKind(name)
+	if err != nil {
+		return Config{}, err
 	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
+	cfg := Config{Kind: k}
+	if !hasParams {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("buffer: spec parameter %q is not key=value: %w",
+				kv, cfgerr.ErrBadSharing)
 		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
+		switch {
+		case names.Equal(key, "alpha"):
+			a, err := strconv.ParseFloat(val, 64)
+			// !(a > 0) rather than a <= 0: it also rejects NaN, which
+			// compares false both ways and would otherwise slip through
+			// into the threshold arithmetic.
+			if err != nil || !(a > 0) || math.IsInf(a, 0) {
+				return Config{}, fmt.Errorf("buffer: alpha %q must be a positive finite number: %w",
+					val, cfgerr.ErrBadSharing)
+			}
+			cfg.Sharing.Alpha = a
+		case names.Equal(key, "classes"):
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Config{}, fmt.Errorf("buffer: classes %q must be a positive integer: %w",
+					val, cfgerr.ErrBadSharing)
+			}
+			cfg.Sharing.Classes = n
+		case names.Equal(key, "delay"):
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return Config{}, fmt.Errorf("buffer: delay %q must be a positive integer: %w",
+					val, cfgerr.ErrBadSharing)
+			}
+			cfg.Sharing.DelayTarget = n
+		default:
+			return Config{}, fmt.Errorf("buffer: unknown spec parameter %q (want alpha|classes|delay): %w",
+				key, cfgerr.ErrBadSharing)
 		}
 	}
-	return true
+	if err := cfg.validateSharing(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
 }
 
-// Buffer is the long-clock behavioural contract shared by all four
+// Buffer is the long-clock behavioural contract shared by all
 // organizations. A Buffer belongs to one input port of a switch; packets
 // stored in it have already been routed (Packet.OutPort names the local
 // output port the packet wants).
@@ -113,26 +216,31 @@ func equalFold(a, b string) bool {
 // For multi-queue buffers that is the head of the per-output queue; for a
 // FIFO it is the single head packet, and only for that packet's own
 // destination — head-of-line blocking falls out of this definition.
-// MaxReadsPerCycle is 1 for single-read-port designs (FIFO, SAMQ, DAMQ)
-// and NumOutputs for SAFC; the crossbar arbiter enforces it.
+// MaxReadsPerCycle is 1 for single-read-port designs (FIFO, SAMQ, DAMQ,
+// and the modern policies) and NumOutputs for SAFC/DAFC; the crossbar
+// arbiter enforces it.
 type Buffer interface {
 	// Kind reports the buffer organization.
 	Kind() Kind
 	// NumOutputs is the number of output ports packets may be routed to.
 	NumOutputs() int
-	// Capacity is total storage in slots.
+	// Capacity is this port's nominal storage in slots. Under a shared
+	// pool it is the port's share of the group, not the group total.
 	Capacity() int
 	// Free is the number of slots available to a new packet addressed to
 	// any output for dynamic designs; for static designs it is the total
 	// free count across queues (use CanAccept for admission decisions).
+	// Under a shared pool it reports the group-wide free count.
 	Free() int
-	// Len is the number of packets currently buffered. Implementations
-	// keep it O(1): network simulators read it on hot paths.
+	// Len is the number of packets currently buffered at this port.
+	// Implementations keep it O(1): network simulators read it on hot
+	// paths.
 	Len() int
 	// Empty reports whether the buffer holds no packets, in O(1). It is
 	// the emptiness hook the active-set network simulator polls.
 	Empty() bool
-	// CanAccept reports whether p (with OutPort set) fits right now.
+	// CanAccept reports whether p (with OutPort set) fits right now — the
+	// admission policy's decision.
 	CanAccept(p *packet.Packet) bool
 	// Accept stores p. It returns an error if CanAccept(p) is false or
 	// p.OutPort is out of range.
@@ -147,8 +255,17 @@ type Buffer interface {
 	Pop(out int) *packet.Packet
 	// MaxReadsPerCycle is how many packets may leave per long cycle.
 	MaxReadsPerCycle() int
-	// Reset discards all contents.
+	// Reset discards all contents — for shared-pool views, the whole
+	// group's contents (reset every view; sw.Switch.Reset does).
 	Reset()
+}
+
+// Ticker is implemented by buffers whose admission policy reads packet
+// ages (KindUsesClock). The owning switch calls Tick once per buffer per
+// long cycle; shared-pool views coordinate so the group clock still
+// advances exactly once per cycle.
+type Ticker interface {
+	Tick()
 }
 
 // ErrFull is wrapped by Accept when the packet does not fit.
@@ -157,17 +274,90 @@ var ErrFull = errors.New("buffer full")
 // ErrBadPort is wrapped by Accept when OutPort is out of range.
 var ErrBadPort = errors.New("output port out of range")
 
+// Sharing tunes the modern admission policies. The zero value means
+// "kind defaults"; fields are only legal for kinds whose policy reads
+// them (Validate enforces this, so a config cannot silently carry knobs
+// that do nothing).
+type Sharing struct {
+	// Alpha is the threshold multiplier for DT, FB, and BSHARE.
+	// 0 means the default 1.0.
+	Alpha float64
+	// Classes is FB's priority class count. 0 means the default 2.
+	Classes int
+	// DelayTarget is BSHARE's head-of-line delay target in cycles
+	// (pool ticks). 0 means the default 16.
+	DelayTarget int64
+}
+
+const (
+	defaultAlpha       = 1.0
+	defaultClasses     = 2
+	defaultDelayTarget = 16
+)
+
+func (s Sharing) alpha() float64 {
+	if s.Alpha > 0 {
+		return s.Alpha
+	}
+	return defaultAlpha
+}
+
+func (s Sharing) classes() int {
+	if s.Classes > 0 {
+		return s.Classes
+	}
+	return defaultClasses
+}
+
+func (s Sharing) delayTarget() int64 {
+	if s.DelayTarget > 0 {
+		return s.DelayTarget
+	}
+	return defaultDelayTarget
+}
+
 // Config describes a buffer to construct.
 type Config struct {
 	Kind       Kind
 	NumOutputs int // n of the n x n switch
 	Capacity   int // total slots at this input port
+	// Sharing tunes DT/FB/BSHARE; leave zero for the 1988 kinds.
+	Sharing Sharing
+}
+
+// validateSharing checks the policy-tuning knobs against the kind,
+// independent of geometry (ParseSpec calls it before NumOutputs and
+// Capacity are known).
+func (cfg Config) validateSharing() error {
+	s := cfg.Sharing
+	if s.Alpha < 0 || math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) {
+		return fmt.Errorf("buffer: alpha must be positive and finite, got %g: %w", s.Alpha, cfgerr.ErrBadSharing)
+	}
+	if s.Classes < 0 {
+		return fmt.Errorf("buffer: classes must be positive, got %d: %w", s.Classes, cfgerr.ErrBadSharing)
+	}
+	if s.DelayTarget < 0 {
+		return fmt.Errorf("buffer: delay target must be positive, got %d: %w", s.DelayTarget, cfgerr.ErrBadSharing)
+	}
+	if s.Alpha != 0 && !KindModern(cfg.Kind) {
+		return fmt.Errorf("buffer: alpha is only read by dt|fb|bshare, not %v (policy %s): %w",
+			cfg.Kind, cfg.Kind.PolicyName(), cfgerr.ErrBadSharing)
+	}
+	if s.Classes != 0 && cfg.Kind != FB {
+		return fmt.Errorf("buffer: classes is only read by fb, not %v (policy %s): %w",
+			cfg.Kind, cfg.Kind.PolicyName(), cfgerr.ErrBadSharing)
+	}
+	if s.DelayTarget != 0 && cfg.Kind != BSHARE {
+		return fmt.Errorf("buffer: delay target is only read by bshare, not %v (policy %s): %w",
+			cfg.Kind, cfg.Kind.PolicyName(), cfgerr.ErrBadSharing)
+	}
+	return nil
 }
 
 // Validate checks the config without constructing anything. Errors wrap
-// the cfgerr sentinels (ErrBadPorts, ErrBadCapacity, ErrBadKind); the
-// same convention holds for sw.Config, netsim.Config, and
-// comcobb.Config.
+// the cfgerr sentinels (ErrBadPorts, ErrBadCapacity, ErrBadKind,
+// ErrBadSharing); the same convention holds for sw.Config,
+// netsim.Config, and comcobb.Config.
 func (cfg Config) Validate() error {
 	if cfg.Kind < FIFO || int(cfg.Kind) >= len(kindNames) {
 		return fmt.Errorf("buffer: unknown kind %v: %w", cfg.Kind, cfgerr.ErrBadKind)
@@ -178,17 +368,37 @@ func (cfg Config) Validate() error {
 	if cfg.Capacity <= 0 {
 		return fmt.Errorf("buffer: Capacity must be positive, got %d: %w", cfg.Capacity, cfgerr.ErrBadCapacity)
 	}
+	if err := cfg.validateSharing(); err != nil {
+		return err
+	}
+	// Static partitions must divide evenly, or some queue (or class)
+	// would own a fraction of a slot: SAMQ/SAFC partition across outputs,
+	// FB's reserved quotas partition across priority classes.
 	if (cfg.Kind == SAMQ || cfg.Kind == SAFC) && cfg.Capacity%cfg.NumOutputs != 0 {
-		return fmt.Errorf("buffer: %v capacity %d not divisible by %d outputs: %w",
-			cfg.Kind, cfg.Capacity, cfg.NumOutputs, cfgerr.ErrBadCapacity)
+		return fmt.Errorf("buffer: %v (policy %s) capacity %d not divisible by %d outputs: %w",
+			cfg.Kind, cfg.Kind.PolicyName(), cfg.Capacity, cfg.NumOutputs, cfgerr.ErrBadCapacity)
+	}
+	if cfg.Kind == FB {
+		classes := cfg.Sharing.classes()
+		if classes > cfg.Capacity {
+			return fmt.Errorf("buffer: FB (policy %s) wants %d classes in %d slots: %w",
+				cfg.Kind.PolicyName(), classes, cfg.Capacity, cfgerr.ErrBadSharing)
+		}
+		if cfg.Capacity%classes != 0 {
+			return fmt.Errorf("buffer: %v (policy %s) capacity %d not divisible by %d classes: %w",
+				cfg.Kind, cfg.Kind.PolicyName(), cfg.Capacity, classes, cfgerr.ErrBadCapacity)
+		}
 	}
 	return nil
 }
 
-// New constructs a buffer. SAMQ and SAFC statically partition Capacity
-// across NumOutputs queues, so Capacity must be a positive multiple of
-// NumOutputs (the paper: "they can only have an even number of slots");
-// FIFO and DAMQ accept any positive capacity.
+// New constructs a per-port buffer: one storage group owned by one view.
+// SAMQ and SAFC statically partition Capacity across NumOutputs queues,
+// so Capacity must be a positive multiple of NumOutputs (the paper:
+// "they can only have an even number of slots"); FB likewise partitions
+// its reserved quotas across classes. FIFO, DAMQ, DT, and BSHARE accept
+// any positive capacity. For one group spanning a whole switch, use
+// NewSharedGroup.
 func New(cfg Config) (Buffer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -198,10 +408,11 @@ func New(cfg Config) (Buffer, error) {
 		return newFIFO(cfg.NumOutputs, cfg.Capacity), nil
 	case SAMQ, SAFC:
 		return newStatic(cfg.Kind, cfg.NumOutputs, cfg.Capacity), nil
-	case DAMQ:
-		return NewDAMQ(cfg.NumOutputs, cfg.Capacity), nil
-	case DAFC:
-		return &dafc{DAMQBuffer: NewDAMQ(cfg.NumOutputs, cfg.Capacity)}, nil
+	case DAMQ, DAFC, DT, FB, BSHARE:
+		pol, classes, clocked := buildPolicy(cfg, cfg.Capacity)
+		return newPoolBuffer(cfg.Kind, cfg.NumOutputs, cfg.Capacity,
+			kindReads(cfg.Kind, cfg.NumOutputs), pol, classes, clocked,
+			KindModern(cfg.Kind), kindPrefix(cfg.Kind)), nil
 	default:
 		return nil, fmt.Errorf("buffer: unknown kind %v: %w", cfg.Kind, cfgerr.ErrBadKind)
 	}

@@ -23,12 +23,15 @@ func TestDAFCBehaviour(t *testing.T) {
 
 func TestDAFCInAllKinds(t *testing.T) {
 	all := AllKinds()
-	if len(all) != 5 || all[4] != DAFC {
+	if len(all) != 8 || all[4] != DAFC {
 		t.Fatalf("AllKinds = %v", all)
 	}
-	// The paper's list stays at four.
+	// The paper's list stays at four; the modern policies have their own.
 	if len(Kinds()) != 4 {
 		t.Fatalf("Kinds = %v", Kinds())
+	}
+	if len(ModernKinds()) != 3 {
+		t.Fatalf("ModernKinds = %v", ModernKinds())
 	}
 	if DAFC.String() != "DAFC" {
 		t.Fatalf("name = %q", DAFC.String())

@@ -1,8 +1,10 @@
 package buffer
 
 import (
+	"errors"
 	"testing"
 
+	"damq/internal/cfgerr"
 	"damq/internal/packet"
 )
 
@@ -38,6 +40,48 @@ func FuzzDAMQOperations(f *testing.F) {
 		}
 		if err := b.CheckInvariants(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzParseSpec feeds arbitrary strings to the spec parser: it must
+// never panic, every failure must wrap one of the two exported config
+// errors, and every accepted spec must name a real kind with sharing
+// knobs New is willing to validate (never crash on) and round-trip
+// through the kind's canonical name.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"damq", "DAMQ", "fifo", "dt", "dt:alpha=2", "fb:classes=4,alpha=1.5",
+		"bshare:delay=32", "dt:alpha=0.25,", "fb:classes=-1", "bshare:delay=1e9",
+		"dt:alpha", "dt:=", ":alpha=1", "damq:", "dt:alpha=2,alpha=3",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseSpec(s)
+		if err != nil {
+			if !errors.Is(err, cfgerr.ErrBadKind) && !errors.Is(err, cfgerr.ErrBadSharing) {
+				t.Fatalf("ParseSpec(%q) error %v wraps neither ErrBadKind nor ErrBadSharing", s, err)
+			}
+			return
+		}
+		if cfg.Kind.String() == "INVALID" {
+			t.Fatalf("ParseSpec(%q) accepted an invalid kind %d", s, int(cfg.Kind))
+		}
+		if _, err := ParseKind(cfg.Kind.String()); err != nil {
+			t.Fatalf("ParseSpec(%q) kind %v does not round-trip: %v", s, cfg.Kind, err)
+		}
+		if cfg.Sharing.Alpha < 0 || cfg.Sharing.Classes < 0 || cfg.Sharing.DelayTarget < 0 {
+			t.Fatalf("ParseSpec(%q) accepted negative sharing knobs: %+v", s, cfg.Sharing)
+		}
+		// Completing the config must never panic: New either builds the
+		// buffer or reports a validation error — knob/kind mismatches wrap
+		// ErrBadSharing, FB class counts that do not divide the capacity
+		// wrap ErrBadCapacity.
+		cfg.NumOutputs, cfg.Capacity = 2, 8
+		if _, err := New(cfg); err != nil &&
+			!errors.Is(err, cfgerr.ErrBadSharing) && !errors.Is(err, cfgerr.ErrBadCapacity) {
+			t.Fatalf("New(ParseSpec(%q)) = %v, want nil, ErrBadSharing or ErrBadCapacity", s, err)
 		}
 	})
 }

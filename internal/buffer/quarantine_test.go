@@ -315,7 +315,7 @@ func TestDAMQPropertyVsReference(t *testing.T) {
 // quarReconcile moves slot s from pending to quarantined in the model iff
 // the implementation has done so.
 func (m *refModel) quarReconcile(b *DAMQBuffer, s int) bool {
-	if b.quar != nil && b.quar[s] == slotQuarantined {
+	if b.Pool().slotOut(s) {
 		m.quar[s] = true
 		return true
 	}

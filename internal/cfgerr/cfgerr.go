@@ -35,4 +35,9 @@ var (
 	// ErrBadWorkers reports an intra-run worker count the network cannot
 	// shard to (more workers than switches per stage).
 	ErrBadWorkers = errors.New("invalid worker count")
+	// ErrBadSharing reports inconsistent buffer-sharing knobs: a sharing
+	// parameter (alpha/classes/delay target) out of range or set for a
+	// kind whose admission policy does not read it, or a shared-pool
+	// request for a statically partitioned kind.
+	ErrBadSharing = errors.New("invalid sharing config")
 )

@@ -1,0 +1,74 @@
+// Package names is the one place the repo folds and lists enum names.
+// Every CLI-facing parser (buffer kinds, flow-control protocols,
+// arbitration policies, fault kinds) used to carry its own hand-rolled
+// ASCII case-folding helper; they all route through this package now, so
+// a newly added name gets case-insensitive matching and inclusion in the
+// "want a|b|c" error listing for free.
+//
+// Matching is ASCII-only by design: every name in the repo is ASCII, and
+// folding bytes (not runes) keeps the comparisons allocation-free.
+package names
+
+import "strings"
+
+// Equal reports whether a and b match ignoring ASCII case. It never
+// allocates, so parsers may call it in a loop over candidate names.
+func Equal(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		if foldByte(a[i]) != foldByte(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the position of s in valid under Equal, or -1. It is the
+// shared lookup behind ParseKind-style functions whose enum values are
+// their indices.
+func Index(s string, valid []string) int {
+	for i, n := range valid {
+		if Equal(s, n) {
+			return i
+		}
+	}
+	return -1
+}
+
+// List renders the valid names lower-cased and joined with "|" — the
+// conventional "(want fifo|samq|...)" fragment of parser errors. Cold
+// path: it allocates the joined string.
+func List(valid []string) string {
+	var b strings.Builder
+	for i, n := range valid {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(Fold(n))
+	}
+	return b.String()
+}
+
+// Fold lower-cases ASCII letters. Cold path: allocates when s contains
+// an upper-case byte.
+func Fold(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			out := make([]byte, len(s))
+			for j := 0; j < len(s); j++ {
+				out[j] = foldByte(s[j])
+			}
+			return string(out)
+		}
+	}
+	return s
+}
+
+func foldByte(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	return c
+}

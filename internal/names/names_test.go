@@ -1,0 +1,66 @@
+package names
+
+import "testing"
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"damq", "DAMQ", true},
+		{"DaMq", "dAmQ", true},
+		{"", "", true},
+		{"damq", "damqx", false},
+		{"damq", "samq", false},
+		{"bshare", "BShare", true},
+		{"a_b", "A_B", true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	valid := []string{"FIFO", "SAMQ", "SAFC", "DAMQ"}
+	if i := Index("safc", valid); i != 2 {
+		t.Errorf("Index(safc) = %d, want 2", i)
+	}
+	if i := Index("ring", valid); i != -1 {
+		t.Errorf("Index(ring) = %d, want -1", i)
+	}
+	if i := Index("", nil); i != -1 {
+		t.Errorf("Index on nil list = %d, want -1", i)
+	}
+}
+
+func TestList(t *testing.T) {
+	if got := List([]string{"FIFO", "DAMQ"}); got != "fifo|damq" {
+		t.Errorf("List = %q", got)
+	}
+	if got := List(nil); got != "" {
+		t.Errorf("List(nil) = %q", got)
+	}
+}
+
+func TestFold(t *testing.T) {
+	if got := Fold("BShare"); got != "bshare" {
+		t.Errorf("Fold = %q", got)
+	}
+	// Already-lower strings come back without copying.
+	s := "already"
+	if got := Fold(s); got != s {
+		t.Errorf("Fold(%q) = %q", s, got)
+	}
+}
+
+func TestEqualDoesNotAllocate(t *testing.T) {
+	n := testing.AllocsPerRun(100, func() {
+		Equal("BShArE", "bshare")
+		Index("damq", []string{"FIFO", "DAMQ"})
+	})
+	if n != 0 {
+		t.Errorf("Equal/Index allocate %v per run", n)
+	}
+}

@@ -111,6 +111,15 @@ type Config struct {
 	// SwitchesPerStage (cfgerr.ErrBadWorkers). Collected Results report
 	// this field as 0 — it is an execution knob, not a model parameter.
 	Workers int
+	// SharedPool makes every switch pool its input buffers into one
+	// Radix*Capacity-slot storage group (the "2026" sharing geometry).
+	// Requires a pooled kind (buffer.KindSharesPool).
+	SharedPool bool
+	// Sharing tunes the modern admission policies (DT/FB/BSHARE); the
+	// zero value means paper-reasonable defaults. Ignored by the four
+	// 1988 kinds and DAFC, and Validate rejects knobs set on a kind
+	// that does not read them.
+	Sharing buffer.Sharing
 }
 
 // Validate checks the config (after default-filling, so a zero Config is
@@ -124,9 +133,22 @@ func (c Config) Validate() error {
 	if _, err := omega.New(c.Radix, c.Inputs); err != nil {
 		return fmt.Errorf("netsim: %v: %w", err, cfgerr.ErrBadRadix)
 	}
-	bufCfg := buffer.Config{Kind: c.BufferKind, NumOutputs: c.Radix, Capacity: c.Capacity}
+	bufCfg := buffer.Config{Kind: c.BufferKind, NumOutputs: c.Radix, Capacity: c.Capacity, Sharing: c.Sharing}
 	if err := bufCfg.Validate(); err != nil {
 		return fmt.Errorf("netsim: %w", err)
+	}
+	if c.SharedPool && !buffer.KindSharesPool(c.BufferKind) {
+		return fmt.Errorf("netsim: %v (policy %s) cannot span input ports as a shared pool: %w",
+			c.BufferKind, c.BufferKind.PolicyName(), cfgerr.ErrBadSharing)
+	}
+	if c.SharedPool && c.Protocol == sw.Blocking {
+		// Blocking relies on arbitrate-phase probes guaranteeing the
+		// inject-phase Offer. Per-port admission is monotone between the
+		// two (pops only loosen every policy's threshold), but one pool
+		// spanning ports can approve n probes individually and overflow
+		// on their sum, so the guarantee does not survive pooling.
+		return fmt.Errorf("netsim: shared pool admission is not port-independent, which the blocking protocol's probe contract requires: %w",
+			cfgerr.ErrBadSharing)
 	}
 	if c.Policy != arbiter.Dumb && c.Policy != arbiter.Smart {
 		return fmt.Errorf("netsim: unknown policy %v: %w", c.Policy, cfgerr.ErrBadPolicy)
@@ -332,6 +354,12 @@ type Sim struct {
 	// active-set equivalence property test runs it as the reference model.
 	fullScan bool
 
+	// needTick is set when the buffer kind's admission policy reads
+	// packet ages (buffer.KindUsesClock); each shard then ticks its own
+	// switches at the end of the inject phase. Clockless runs skip the
+	// sweep entirely.
+	needTick bool
+
 	// metrics is the attached observability probe set (SetObserver); nil
 	// means unobserved. Every hot-path use is nil-guarded, so detached
 	// runs execute no instrument code and stay bit-identical — the
@@ -435,7 +463,7 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, top: top}
+	s := &Sim{cfg: cfg, top: top, needTick: buffer.KindUsesClock(cfg.BufferKind)}
 
 	for st := 0; st < top.Stages(); st++ {
 		var row []*sw.Switch
@@ -445,6 +473,8 @@ func New(cfg Config) (*Sim, error) {
 				BufferKind: cfg.BufferKind,
 				Capacity:   cfg.Capacity,
 				Policy:     cfg.Policy,
+				SharedPool: cfg.SharedPool,
+				Sharing:    cfg.Sharing,
 			})
 			if err != nil {
 				return nil, err
@@ -875,6 +905,7 @@ func (sh *shard) phaseInjectRun() {
 					sh.partial.DiscardedInNet++
 					if s.metrics != nil {
 						s.metrics.discardedNet.Inc()
+						sh.notePolicyRefused(st, si, int(x.in), x.p)
 					}
 				}
 				sh.alloc.Recycle(x.p)
@@ -924,6 +955,20 @@ func (sh *shard) phaseInjectRun() {
 			}
 		}
 	}
+
+	// Age clocks advance last, after every admission decision of the
+	// cycle, so an age-reading policy (BSHARE) sees the same packet ages
+	// whether probed by an owned source or a peer shard's blocking probe
+	// (those only run during the arbitrate phase). Ticking only owned
+	// switches keeps the sweep inside the shard partition.
+	if s.needTick {
+		for st := range s.stages {
+			row := s.stages[st]
+			for si := sh.lo; si < sh.hi; si++ {
+				row[si].Tick()
+			}
+		}
+	}
 }
 
 // enqueueSource routes a newborn packet toward the network.
@@ -954,9 +999,27 @@ func (sh *shard) enqueueSource(p *packet.Packet, measuring bool) {
 				sh.partial.DiscardedAtEntry++
 				if s.metrics != nil {
 					s.metrics.discardedEntry.Inc()
+					swIdx, port := s.top.FirstStageSwitch(p.Source)
+					sh.notePolicyRefused(0, swIdx, port, p)
 				}
 			}
 			sh.alloc.Recycle(p)
+		}
+	}
+}
+
+// notePolicyRefused classifies a discard: when the refusing buffer still
+// had room for the packet, the admission policy — not pool exhaustion —
+// turned it away, and the net.policy.refused counter records that. Only
+// reached under s.metrics != nil, so the unobserved hot path never pays
+// for the buffer probe.
+// damqvet:sharded audited: st,si is an owned coordinate at both call sites, and sim-level metrics only exist with an observer attached, forcing serial stepping
+// damqvet:hotpath
+func (sh *shard) notePolicyRefused(st, si, in int, p *packet.Packet) {
+	m := sh.sim.metrics
+	if m.policyRefused != nil {
+		if sh.sim.stages[st][si].Buffer(in).Free() >= p.Slots {
+			m.policyRefused.Inc()
 		}
 	}
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"damq/internal/buffer"
 	"damq/internal/obs"
 	"damq/internal/sw"
 )
@@ -38,6 +39,18 @@ const (
 	MetricQueueDepth      = "net.queue.depth"
 	MetricLatencyBorn     = "net.latency.born_clocks"
 	MetricLatencyInjected = "net.latency.injected_clocks"
+
+	// Sharing-policy metrics, registered only when the run exercises a
+	// modern admission policy (DT/FB/BSHARE) or a shared pool, so 1988
+	// snapshots keep their exact key set. PoolSlotsUsed observes every
+	// storage pool's occupied slot count once per measured cycle (one
+	// sample per input buffer, or per switch under SharedPool).
+	// PolicyRefused counts discards where the pool still had room for
+	// the packet — drops the admission rule chose, as opposed to
+	// exhaustion; compare it against the discard counters to separate
+	// policy pressure from genuine overflow.
+	MetricPoolSlotsUsed = "net.pool.slots_used"
+	MetricPolicyRefused = "net.policy.refused"
 )
 
 // StageOccupancyMetric names the per-stage occupancy gauge for stage st.
@@ -65,6 +78,11 @@ type netMetrics struct {
 	queueDepth  *obs.Histogram
 	latBorn     *obs.Histogram
 	latInjected *obs.Histogram
+
+	// poolSlots/policyRefused are nil unless the run uses a modern
+	// policy or a shared pool (see MetricPoolSlotsUsed).
+	poolSlots     *obs.Histogram
+	policyRefused *obs.Counter
 
 	// lastSample is the cycle of the last time-series record (-1 = none
 	// yet); used only when the observer's interval is enabled.
@@ -111,6 +129,14 @@ func (s *Sim) SetObserver(o *obs.Observer) {
 	m.queueDepth = r.Histogram(MetricQueueDepth, s.cfg.Capacity+1, 1)
 	m.latBorn = r.Histogram(MetricLatencyBorn, 4096, c)
 	m.latInjected = r.Histogram(MetricLatencyInjected, 4096, c)
+	if buffer.KindModern(s.cfg.BufferKind) || s.cfg.SharedPool {
+		poolCap := s.cfg.Capacity
+		if s.cfg.SharedPool {
+			poolCap *= s.cfg.Radix
+		}
+		m.poolSlots = r.Histogram(MetricPoolSlotsUsed, poolCap+1, 1)
+		m.policyRefused = r.Counter(MetricPolicyRefused)
+	}
 
 	// Grant/conflict/blocked/refused counts aggregate across all
 	// switches: one shared counter set, fanned out to every stage.
@@ -157,6 +183,9 @@ func (s *Sim) sampleMetrics(backlog int64) {
 	}
 	m.inFlight.Set(inFlight)
 	m.backlog.Set(backlog)
+	if m.poolSlots != nil {
+		s.samplePoolSlots()
+	}
 
 	iv := m.observer.Interval()
 	if iv <= 0 {
@@ -177,6 +206,42 @@ func (s *Sim) sampleMetrics(backlog int64) {
 		LatencySum:   m.latInjected.Sum(),
 		LatencyCount: m.latInjected.Total(),
 	})
+}
+
+// slotCounter is the per-queue slot accounting every pooled buffer
+// exposes; the policy occupancy sampler sums it per storage pool.
+type slotCounter interface{ QueueSlots(out int) int }
+
+// samplePoolSlots observes each storage pool's occupied slot count:
+// one sample per input buffer normally, one per switch when all its
+// inputs share a pool (summing per-view counts walks the whole group).
+// Occupied means holding packets — quarantined slots are neither free
+// nor used, so the histogram isolates what the admission policy let in.
+func (s *Sim) samplePoolSlots() {
+	m := s.metrics
+	shared := s.cfg.SharedPool
+	for st := range s.stages {
+		for _, swc := range s.stages[st] {
+			ports := swc.Ports()
+			used := 0
+			for in := 0; in < ports; in++ {
+				sc, ok := swc.Buffer(in).(slotCounter)
+				if !ok {
+					return // non-pooled kind: nothing to sample
+				}
+				for out := 0; out < ports; out++ {
+					used += sc.QueueSlots(out)
+				}
+				if !shared {
+					m.poolSlots.Observe(int64(used))
+					used = 0
+				}
+			}
+			if shared {
+				m.poolSlots.Observe(int64(used))
+			}
+		}
+	}
 }
 
 // ValidateSnapshot checks that a snapshot has the shape an observed

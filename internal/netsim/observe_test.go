@@ -169,3 +169,54 @@ func TestObservedStepSteadyStateAllocs(t *testing.T) {
 		t.Errorf("observed steady-state Step allocates %.3f allocs/op, want <= %v", avg, limit)
 	}
 }
+
+// TestModernMetricsConditional pins the per-policy instrumentation
+// contract: net.pool.slots_used and net.policy.refused exist exactly
+// when the run uses a modern kind or a shared pool — 1988 snapshots
+// keep their exact key set (the metrics golden depends on this) — and
+// when present they carry real observations.
+func TestModernMetricsConditional(t *testing.T) {
+	snapshotFor := func(mut func(*Config)) *obs.Snapshot {
+		cfg := observeTestConfig(sw.Discarding, 1.0)
+		mut(&cfg)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs.NewObserver()
+		sim.SetObserver(o)
+		sim.Run()
+		return o.Snapshot()
+	}
+
+	legacy := snapshotFor(func(*Config) {})
+	if _, ok := legacy.Histogram(MetricPoolSlotsUsed); ok {
+		t.Errorf("1988 DAMQ snapshot grew %s", MetricPoolSlotsUsed)
+	}
+	if _, ok := legacy.Counter(MetricPolicyRefused); ok {
+		t.Errorf("1988 DAMQ snapshot grew %s", MetricPolicyRefused)
+	}
+
+	modern := snapshotFor(func(cfg *Config) { cfg.BufferKind = buffer.DT })
+	occ, ok := modern.Histogram(MetricPoolSlotsUsed)
+	if !ok || occ.Total == 0 {
+		t.Fatalf("DT run: %s missing or empty (%+v)", MetricPoolSlotsUsed, occ)
+	}
+	if refused, ok := modern.Counter(MetricPolicyRefused); !ok || refused == 0 {
+		t.Errorf("saturated DT run: %s = %d, want > 0 (threshold must refuse with free slots)",
+			MetricPolicyRefused, refused)
+	}
+
+	// Shared-pool occupancy is sampled per pool, not per view: one
+	// observation per switch per sampled cycle, with values that can
+	// exceed a single view's capacity.
+	pooled := snapshotFor(func(cfg *Config) { cfg.SharedPool = true; cfg.BufferKind = buffer.DT })
+	pocc, ok := pooled.Histogram(MetricPoolSlotsUsed)
+	if !ok || pocc.Total == 0 {
+		t.Fatalf("shared-pool run: %s missing or empty", MetricPoolSlotsUsed)
+	}
+	if occ.Total != 4*pocc.Total {
+		t.Errorf("per-buffer samples = %d, pooled samples = %d; want 4x (4 views per pool)",
+			occ.Total, pocc.Total)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
 	"damq/internal/cfgerr"
+	"damq/internal/names"
 	"damq/internal/obs"
 	"damq/internal/packet"
 )
@@ -51,37 +52,17 @@ func (p Protocol) String() string {
 	}
 }
 
+// protocolNames lists the protocols in enum order for the shared parser.
+var protocolNames = [...]string{"discarding", "blocking"}
+
 // ParseProtocol converts "discarding" or "blocking" (any case) to a
 // Protocol. The error wraps cfgerr.ErrBadProtocol.
 func ParseProtocol(s string) (Protocol, error) {
-	switch {
-	case equalFold(s, "discarding"):
-		return Discarding, nil
-	case equalFold(s, "blocking"):
-		return Blocking, nil
+	if i := names.Index(s, protocolNames[:]); i >= 0 {
+		return Protocol(i), nil
 	}
-	return 0, fmt.Errorf("sw: unknown protocol %q (want discarding|blocking): %w", s, cfgerr.ErrBadProtocol)
-}
-
-// equalFold is an ASCII-only case-insensitive comparison, mirroring the
-// one in package buffer to keep this package strings-free.
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
+	return 0, fmt.Errorf("sw: unknown protocol %q (want %s): %w",
+		s, names.List(protocolNames[:]), cfgerr.ErrBadProtocol)
 }
 
 // Config describes one switch.
@@ -90,12 +71,28 @@ type Config struct {
 	BufferKind buffer.Kind
 	Capacity   int // slots per input buffer
 	Policy     arbiter.Policy
+	// SharedPool makes all input ports share one storage group of
+	// Ports*Capacity slots (buffer.NewSharedGroup) instead of owning
+	// Capacity slots each. Requires a pooled kind (buffer.KindSharesPool).
+	SharedPool bool
+	// Sharing tunes the modern admission policies (DT/FB/BSHARE).
+	Sharing buffer.Sharing
+}
+
+// bufferConfig is the per-input buffer geometry the switch constructs.
+func (cfg Config) bufferConfig() buffer.Config {
+	return buffer.Config{
+		Kind:       cfg.BufferKind,
+		NumOutputs: cfg.Ports,
+		Capacity:   cfg.Capacity,
+		Sharing:    cfg.Sharing,
+	}
 }
 
 // Validate checks the config using the repo-wide sentinel-error
 // convention (see internal/cfgerr): port-count errors wrap ErrBadPorts,
 // buffer shape errors wrap ErrBadKind/ErrBadCapacity, policy errors
-// wrap ErrBadPolicy.
+// wrap ErrBadPolicy, sharing errors wrap ErrBadSharing.
 func (cfg Config) Validate() error {
 	if cfg.Ports <= 0 {
 		return fmt.Errorf("sw: ports must be positive, got %d: %w", cfg.Ports, cfgerr.ErrBadPorts)
@@ -103,11 +100,11 @@ func (cfg Config) Validate() error {
 	if cfg.Policy != arbiter.Dumb && cfg.Policy != arbiter.Smart {
 		return fmt.Errorf("sw: unknown policy %v: %w", cfg.Policy, cfgerr.ErrBadPolicy)
 	}
-	return buffer.Config{
-		Kind:       cfg.BufferKind,
-		NumOutputs: cfg.Ports,
-		Capacity:   cfg.Capacity,
-	}.Validate()
+	if cfg.SharedPool && !buffer.KindSharesPool(cfg.BufferKind) {
+		return fmt.Errorf("sw: %v (policy %s) cannot span input ports as a shared pool: %w",
+			cfg.BufferKind, cfg.BufferKind.PolicyName(), cfgerr.ErrBadSharing)
+	}
+	return cfg.bufferConfig().Validate()
 }
 
 // Switch is one n×n switch instance.
@@ -126,6 +123,11 @@ type Switch struct {
 	// m holds the observability probes; nil (the default) keeps every
 	// hot-path probe behind a never-taken branch.
 	m *Metrics
+	// tickers are the buffers whose admission policy reads packet ages;
+	// nil unless the kind uses a clock (BSHARE), so clockless switches
+	// pay one nil check in Tick. Shared-pool views coordinate internally
+	// so the group clock advances exactly once per Tick sweep.
+	tickers []buffer.Ticker
 }
 
 // Metrics is the instrument set one observed switch maintains. Grant,
@@ -162,18 +164,40 @@ func New(cfg Config) (*Switch, error) {
 		cfg: cfg,
 		arb: arbiter.New(cfg.Policy, cfg.Ports, cfg.Ports),
 	}
-	for i := 0; i < cfg.Ports; i++ {
-		b, err := buffer.New(buffer.Config{
-			Kind:       cfg.BufferKind,
-			NumOutputs: cfg.Ports,
-			Capacity:   cfg.Capacity,
-		})
+	if cfg.SharedPool {
+		bufs, err := buffer.NewSharedGroup(cfg.bufferConfig(), cfg.Ports)
 		if err != nil {
-			return nil, fmt.Errorf("sw: input %d: %w", i, err)
+			return nil, fmt.Errorf("sw: shared pool: %w", err)
 		}
-		s.bufs = append(s.bufs, b)
+		s.bufs = bufs
+	} else {
+		for i := 0; i < cfg.Ports; i++ {
+			b, err := buffer.New(cfg.bufferConfig())
+			if err != nil {
+				return nil, fmt.Errorf("sw: input %d: %w", i, err)
+			}
+			s.bufs = append(s.bufs, b)
+		}
+	}
+	if buffer.KindUsesClock(cfg.BufferKind) {
+		for _, b := range s.bufs {
+			if tk, ok := b.(buffer.Ticker); ok {
+				s.tickers = append(s.tickers, tk)
+			}
+		}
 	}
 	return s, nil
+}
+
+// Tick advances the clock of every age-reading buffer by one long cycle.
+// Clockless kinds make it a nil-check no-op. The network simulator calls
+// it from the inject phase — after all of a cycle's admission probes are
+// done — so ages only ever change between cycles, never mid-arbitration.
+// damqvet:hotpath
+func (s *Switch) Tick() {
+	for _, tk := range s.tickers {
+		tk.Tick()
+	}
 }
 
 // MustNew is New for known-good configs.

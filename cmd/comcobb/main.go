@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"damq"
 )
@@ -48,39 +51,51 @@ func main() {
 		payload[i] = byte(0xA0 + i)
 	}
 
+	// SIGINT/SIGTERM stop the tick loops at a clock boundary; the trace
+	// collected so far is still printed, in the exit-130 partial-results
+	// convention the other CLIs follow.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticks := 0
+	interrupted := false
+	run := func(n int, tick func()) {
+		for i := 0; i < n && !interrupted; i++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				return
+			}
+			tick()
+			ticks++
+		}
+	}
+
 	drv := damq.NewChipDriver(chip.InLink(0), damq.WithFaults(faults))
 	if *busy {
 		competing := damq.NewChipDriver(chip.InLink(2))
 		competing.Queue(0x05, make([]byte, 32), 0)
+		both := func() { competing.Tick(); drv.Tick(); chip.Tick() }
 		// Let the competing packet win output 1 first.
-		for i := 0; i < 6; i++ {
-			competing.Tick()
-			drv.Tick()
-			chip.Tick()
+		run(6, both)
+		if !interrupted {
+			drv.Queue(0x01, payload, 0)
 		}
-		drv.Queue(0x01, payload, 0)
-		for i := 0; i < 120; i++ {
-			competing.Tick()
-			drv.Tick()
-			chip.Tick()
-		}
+		run(120, both)
 	} else {
 		drv.Queue(0x01, payload, 0)
-		for i := 0; i < *nbytes+40; i++ {
-			drv.Tick()
-			chip.Tick()
-		}
+		run(*nbytes+40, func() { drv.Tick(); chip.Tick() })
 	}
 	// Under injected faults the driver may still be retransmitting; keep
 	// ticking until it drains (bounded), then flush the chip pipeline.
-	for i := 0; i < 10_000 && drv.Pending() > 0; i++ {
+	for i := 0; i < 10_000 && drv.Pending() > 0 && !interrupted; i++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		drv.Tick()
 		chip.Tick()
+		ticks++
 	}
-	for i := 0; i < 8; i++ {
-		drv.Tick()
-		chip.Tick()
-	}
+	run(8, func() { drv.Tick(); chip.Tick() })
 
 	fmt.Printf("ComCoBB chip trace (%d payload bytes%s):\n\n", *nbytes, busyNote(*busy))
 	for _, e := range trace.Events {
@@ -100,6 +115,10 @@ func main() {
 		fmt.Printf("\nfault summary: %d bytes corrupted, %d NACKs, %d packets dropped at receiver, %d poisoned\n",
 			st.Corrupted, st.Nacks, st.Dropped, st.Poisoned)
 		fmt.Printf("driver recovery: %d retransmissions, %d given up\n", drv.Retries(), drv.GaveUp())
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "comcobb: interrupted after %d ticks; the trace above covers the completed prefix\n", ticks)
+		os.Exit(130)
 	}
 }
 

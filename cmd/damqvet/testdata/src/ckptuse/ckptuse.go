@@ -1,0 +1,28 @@
+// Package ckptuse seeds checkpoint-in-hot-path violations: snapshot
+// encode/decode is cold by contract, so a hot body calling into a
+// checkpoint package is flagged whether it reaches a package function or
+// a method on one of the package's types.
+package ckptuse
+
+import "fixture/checkpoint"
+
+// Sim is a toy simulator holding an encoder handle.
+type Sim struct {
+	enc   *checkpoint.Encoder
+	cycle int64
+}
+
+// Step is hot: both the method call on a checkpoint type and the
+// package-level call must be flagged.
+// damqvet:hotpath
+func (s *Sim) Step() {
+	s.cycle++
+	s.enc.I64(s.cycle)      // want "checkpoint call in hot path"
+	checkpoint.Reset(s.enc) // want "checkpoint call in hot path"
+}
+
+// Save is cold (no hotpath annotation): the same calls are fine here.
+func (s *Sim) Save() {
+	s.enc.I64(s.cycle)
+	checkpoint.Reset(s.enc)
+}

@@ -247,6 +247,10 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 		flag(call.Pos(), "container/heap.%s in hot path boxes through any; use a typed heap (see internal/eventsim.Engine)", sel.Sel.Name)
 		return false
 	}
+	if isCheckpointCall(info, call) {
+		flag(call.Pos(), "checkpoint call in hot path; the snapshot codec is cold by contract — save at a cycle boundary outside Step")
+		return false
+	}
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
 		if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
 			return false // argument is a cold span; the function is aborting
@@ -275,6 +279,28 @@ func (c *Checker) checkHotCall(p *Package, call *ast.CallExpr, allowed map[types
 	}
 	c.checkBoxing(p, call, flag)
 	return true
+}
+
+// isCheckpointCall reports whether call invokes anything from a package
+// named "checkpoint": a package-level function (checkpoint.WriteFile) or
+// a method on one of its types (Encoder.I64, Decoder.Section). The
+// snapshot codec walks every switch and buffers whole sections — cold by
+// contract, whatever it allocates — so a hot body reaching it is flagged
+// unconditionally rather than judged allocation by allocation.
+func isCheckpointCall(info *types.Info, call *ast.CallExpr) bool {
+	if calleeFromPkg(info, call, "checkpoint", "") {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selInfo, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	pkg := selInfo.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "checkpoint"
 }
 
 // checkBoxing flags concrete, non-pointer-shaped values passed where the

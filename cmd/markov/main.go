@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"damq"
 	"damq/internal/experiments"
@@ -28,11 +32,21 @@ func main() {
 	flag.Parse()
 
 	if *kind == "" {
-		res, err := experiments.Table2(nil, *workers)
-		if err != nil {
+		// SIGINT/SIGTERM cancel the solve; finished rows are still
+		// rendered, in the exit-130 partial-results convention the other
+		// CLIs follow.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, total, err := experiments.Table2Ctx(ctx, nil, *workers)
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			fatal(err)
 		}
 		fmt.Print(res.Render())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "markov: interrupted at %d/%d rows; the table above covers the completed ones\n",
+				len(res.Rows), total)
+			os.Exit(130)
+		}
 		return
 	}
 

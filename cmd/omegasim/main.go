@@ -14,6 +14,8 @@
 //	omegasim -exp run -kind damq -load 0.6 -protocol blocking  # one run
 //	omegasim -exp run -kind dt:alpha=0.5 -shared -protocol discarding  # pooled switch
 //	omegasim -exp run -inputs 1024 -workers 8                  # sharded 1024×1024
+//	omegasim -exp run -checkpoint-every 500 -checkpoint-file run.ckpt  # crash-safe snapshots
+//	omegasim -exp run -resume run.ckpt                         # continue after a kill
 //
 // -scale quick|full selects run length (full is what EXPERIMENTS.md
 // records; quick is a fast smoke version). -workers parallelizes: for
@@ -26,6 +28,14 @@
 // counters, latency histograms); -metrics-interval N adds a cumulative
 // time series every N cycles. -check-metrics <file> validates a
 // previously written snapshot and exits — the CI smoke check.
+//
+// -checkpoint-file <file> makes -exp run crash-safe: the simulation state
+// is saved atomically every -checkpoint-every cycles (or only on
+// interrupt when that is 0), and SIGINT/SIGTERM drain the current cycle
+// and write a final checkpoint before exiting 130. -resume <file>
+// continues such a run from exactly where it stopped; the resumed run's
+// results are byte-identical to never having been interrupted, at any
+// -workers count.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"damq"
+	"damq/internal/checkpoint"
 	"damq/internal/experiments"
 	"damq/internal/plot"
 )
@@ -63,6 +74,9 @@ func main() {
 	metricsInterval := flag.Int64("metrics-interval", 0, "run: record a cumulative time-series point every N cycles in the -metrics snapshot (0 = off)")
 	checkMetrics := flag.String("check-metrics", "", "validate a -metrics JSON file and exit (CI smoke check)")
 	faultsSpec := flag.String("faults", "", `run/faults: fault spec, e.g. "linktransient=1e-3,slotstuck=1e-5,seed=7" (see damq.ParseFaultSpec)`)
+	ckptEvery := flag.Int64("checkpoint-every", 0, "run: save a checkpoint to -checkpoint-file after every N cycles (0 = only on interrupt)")
+	ckptFile := flag.String("checkpoint-file", "", "run: checkpoint path, written atomically (temp file, fsync, rename) so a kill mid-save never corrupts it")
+	resumePath := flag.String("resume", "", "run: resume from this checkpoint instead of starting fresh; topology, seed, progress, and fault schedule come from the file (-workers and -metrics still apply)")
 	flag.Parse()
 	workersSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -191,54 +205,82 @@ func main() {
 		orDie(err)
 		fmt.Print(experiments.RenderFaultCurve(rows))
 	case "run":
-		runOne(ctx, *kind, *shared, *load, *inputs, *capacity, *protocol, *policy, *hot, sc, workersSet, *metricsPath, *metricsInterval, *faultsSpec)
+		runOne(ctx, *kind, *shared, *load, *inputs, *capacity, *protocol, *policy, *hot, sc, workersSet, *metricsPath, *metricsInterval, *faultsSpec,
+			*ckptEvery, *ckptFile, *resumePath)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 }
 
-func runOne(ctx context.Context, kindName string, shared bool, load float64, inputs, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, workersSet bool, metricsPath string, metricsInterval int64, faultsSpec string) {
-	kind, sharing, err := damq.ParseBufferSpec(kindName)
-	orDie(err)
-	pol, err := damq.ParseArbitrationPolicy(policyName)
-	orDie(err)
-	proto, err := damq.ParseProtocol(protoName)
-	orDie(err)
-	spec := damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load}
-	if hot > 0 {
-		spec = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: load, HotFraction: hot}
+func runOne(ctx context.Context, kindName string, shared bool, load float64, inputs, capacity int, protoName, policyName string, hot float64, sc experiments.Scale, workersSet bool, metricsPath string, metricsInterval int64, faultsSpec string, ckptEvery int64, ckptFile, resumePath string) {
+	if ckptEvery > 0 && ckptFile == "" {
+		fatal(errors.New("-checkpoint-every requires -checkpoint-file"))
 	}
+	var observer *damq.Observer
 	var opts []damq.Option
 	if workersSet {
 		// For a single run the workers knob means intra-run sharding: the
 		// one network is stepped across cores, byte-identically.
 		opts = append(opts, damq.WithWorkers(sc.Workers))
 	}
-	var observer *damq.Observer
 	if metricsPath != "" {
 		observer = damq.NewObserver()
 		observer.SetInterval(metricsInterval)
 		opts = append(opts, damq.WithObserver(observer))
 	}
+
+	var sim *damq.NetworkSim
 	var faults damq.FaultConfig
-	if faultsSpec != "" {
-		faults, err = damq.ParseFaultSpec(faultsSpec)
+	if resumePath != "" {
+		// The checkpoint carries the topology, seed, progress, and fault
+		// schedule; only the execution knobs above may be re-chosen.
+		if faultsSpec != "" {
+			fatal(errors.New("-faults cannot be combined with -resume: the fault schedule is part of the checkpoint"))
+		}
+		f, err := os.Open(resumePath)
 		orDie(err)
-		opts = append(opts, damq.WithFaults(faults))
+		sim, err = damq.Restore(f, opts...)
+		f.Close()
+		orDie(err)
+	} else {
+		kind, sharing, err := damq.ParseBufferSpec(kindName)
+		orDie(err)
+		pol, err := damq.ParseArbitrationPolicy(policyName)
+		orDie(err)
+		proto, err := damq.ParseProtocol(protoName)
+		orDie(err)
+		spec := damq.TrafficSpec{Kind: damq.UniformTraffic, Load: load}
+		if hot > 0 {
+			spec = damq.TrafficSpec{Kind: damq.HotSpotTraffic, Load: load, HotFraction: hot}
+		}
+		if faultsSpec != "" {
+			faults, err = damq.ParseFaultSpec(faultsSpec)
+			orDie(err)
+			opts = append(opts, damq.WithFaults(faults))
+		}
+		sim, err = damq.NewNetwork(damq.NetworkConfig{
+			Inputs:        inputs,
+			BufferKind:    kind,
+			Capacity:      capacity,
+			Policy:        pol,
+			Protocol:      proto,
+			Traffic:       spec,
+			WarmupCycles:  sc.Warmup,
+			MeasureCycles: sc.Measure,
+			Seed:          sc.Seed,
+			SharedPool:    shared,
+			Sharing:       sharing,
+		}, opts...)
+		orDie(err)
 	}
-	res, err := damq.RunNetworkCtx(ctx, damq.NetworkConfig{
-		Inputs:        inputs,
-		BufferKind:    kind,
-		Capacity:      capacity,
-		Policy:        pol,
-		Protocol:      proto,
-		Traffic:       spec,
-		WarmupCycles:  sc.Warmup,
-		MeasureCycles: sc.Measure,
-		Seed:          sc.Seed,
-		SharedPool:    shared,
-		Sharing:       sharing,
-	}, opts...)
+	defer sim.Close()
+
+	var save func() error
+	if ckptFile != "" {
+		save = func() error { return checkpoint.WriteFile(ckptFile, sim.Checkpoint) }
+	}
+	targetCycles := sim.Config().MeasureCycles
+	res, err := sim.RunCtxCheckpoint(ctx, ckptEvery, save)
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
 		orDie(err)
@@ -249,12 +291,13 @@ func runOne(ctx context.Context, kindName string, shared bool, load float64, inp
 		orDie(os.WriteFile(metricsPath, raw, 0o644))
 		fmt.Printf("metrics snapshot written to %s\n", metricsPath)
 	}
+	cfg := res.Config // the resolved config: flag-derived or checkpointed
 	poolNote := ""
-	if shared {
+	if cfg.SharedPool {
 		poolNote = ", switch-wide shared pool"
 	}
-	fmt.Printf("buffer              %v (%d slots%s)\n", kind, capacity, poolNote)
-	fmt.Printf("protocol            %v, %v arbitration\n", proto, pol)
+	fmt.Printf("buffer              %v (%d slots%s)\n", cfg.BufferKind, cfg.Capacity, poolNote)
+	fmt.Printf("protocol            %v, %v arbitration\n", cfg.Protocol, cfg.Policy)
 	fmt.Printf("offered load        %.3f\n", res.OfferedLoad())
 	fmt.Printf("throughput          %.3f packets/input/cycle\n", res.Throughput())
 	fmt.Printf("latency (born)      %.1f clocks (±%.1f)\n", res.LatencyFromBorn.Mean(), res.LatencyFromBorn.CI95())
@@ -262,12 +305,19 @@ func runOne(ctx context.Context, kindName string, shared bool, load float64, inp
 	fmt.Printf("discarded           %.2f%% of generated\n", 100*res.DiscardFraction())
 	fmt.Printf("mean occupancy      %.2f packets/switch\n", res.Occupancy.Mean())
 	fmt.Printf("source backlog      %.1f packets\n", res.SourceBacklog.Mean())
-	if faults.Enabled() {
+	if faults.Enabled() || res.FaultedInNet > 0 {
 		fmt.Printf("faulted in net      %.2f%% of injected (%d packets)\n", 100*res.FaultFraction(), res.FaultedInNet)
+	}
+	if ckptFile != "" && !interrupted && ckptEvery > 0 {
+		fmt.Printf("checkpoints written to %s\n", ckptFile)
 	}
 	if interrupted {
 		fmt.Printf("interrupted at %d/%d measured cycles; results above cover the completed prefix\n",
-			res.Config.MeasureCycles, sc.Measure)
+			res.Config.MeasureCycles, targetCycles)
+		if ckptFile != "" {
+			fmt.Printf("checkpoint saved to %s; continue with: omegasim -exp run -resume %s\n", ckptFile, ckptFile)
+		}
+		os.Exit(130)
 	}
 }
 

@@ -24,6 +24,8 @@ package damq
 
 import (
 	"context"
+	"fmt"
+	"io"
 
 	"damq/internal/arbiter"
 	"damq/internal/buffer"
@@ -76,6 +78,12 @@ var (
 	// for a buffer kind that does not read them, out-of-range values, or
 	// a shared pool requested for a kind without pooled storage.
 	ErrBadSharing = cfgerr.ErrBadSharing
+	// ErrBadCheckpoint reports a corrupted, truncated, or structurally
+	// inconsistent checkpoint stream (Restore).
+	ErrBadCheckpoint = cfgerr.ErrBadCheckpoint
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible format version of this library.
+	ErrCheckpointVersion = cfgerr.ErrCheckpointVersion
 )
 
 // BufferKind identifies one of the four buffer organizations.
@@ -404,6 +412,51 @@ func RunNetworkCtx(ctx context.Context, cfg NetworkConfig, opts ...Option) (*Net
 	}
 	defer sim.Close()
 	return sim.RunCtx(ctx)
+}
+
+// Checkpoint / restore ----------------------------------------------------
+
+// Checkpoint serializes sim's complete mid-run state — resolved config,
+// every buffered packet, arbiter and RNG state, fault-schedule progress,
+// and (when observed) instrument values — as a versioned, checksummed
+// binary stream. Restoring the stream and continuing produces results
+// byte-identical to the uninterrupted run. Cold path: call it between
+// cycles (Step returns / Run not in progress), never concurrently with
+// stepping.
+func Checkpoint(sim *NetworkSim, w io.Writer) error { return sim.Checkpoint(w) }
+
+// Restore rebuilds a simulation from a Checkpoint stream at the exact
+// cycle it was captured. WithWorkers overrides the checkpointed worker
+// count — the shard partition is a pure function of topology and seed,
+// so a checkpoint taken at any worker count restores at any other with
+// byte-identical results. WithObserver re-attaches an observer whose
+// instruments resume from the checkpointed values. Any other option is
+// rejected: the seed, fault schedule, and run length are part of the
+// captured state. Corrupted or truncated input yields an error wrapping
+// ErrBadCheckpoint (ErrCheckpointVersion for a version mismatch), never
+// a panic.
+func Restore(r io.Reader, opts ...Option) (*NetworkSim, error) {
+	op := applyOptions(opts)
+	if op.seedSet || op.faultsSet || op.scaleSet {
+		return nil, fmt.Errorf("damq: Restore accepts only WithWorkers and WithObserver: %w", ErrBadCheckpoint)
+	}
+	var ro netsim.RestoreOpts
+	if op.workersSet {
+		ro.WorkersSet = true
+		if op.workers <= 0 {
+			ro.Workers = -1 // option semantics: 0 = GOMAXPROCS
+		} else {
+			ro.Workers = op.workers
+		}
+	}
+	sim, err := netsim.RestoreSimOpts(r, ro)
+	if err != nil {
+		return nil, err
+	}
+	if op.observer != nil {
+		sim.SetObserver(op.observer)
+	}
+	return sim, nil
 }
 
 // Observability -----------------------------------------------------------

@@ -410,3 +410,42 @@ func better(policy Policy, stale []int64, qlen []int, o, best int) bool {
 	}
 	return qlen[o] > qlen[best]
 }
+
+// State is the arbiter's cross-cycle state — the round-robin priority
+// pointer and the stale (age) counters — exposed for the simulator
+// checkpoint codec. Everything else in an Arbiter is per-cycle scratch
+// that Arbitrate rewrites before reading.
+type State struct {
+	Prio  int
+	Stale []int64 // [in*outputs + out], row-major
+}
+
+// SaveState captures the cross-cycle state.
+func (a *Arbiter) SaveState() State {
+	st := State{Prio: a.prio, Stale: make([]int64, 0, a.inputs*a.outputs)}
+	for _, row := range a.stale {
+		st.Stale = append(st.Stale, row...)
+	}
+	return st
+}
+
+// LoadState overwrites the cross-cycle state with a previously saved
+// one, validating its shape against the arbiter's port counts.
+func (a *Arbiter) LoadState(st State) error {
+	if st.Prio < 0 || st.Prio >= a.inputs {
+		return fmt.Errorf("arbiter: priority %d out of range [0, %d)", st.Prio, a.inputs)
+	}
+	if len(st.Stale) != a.inputs*a.outputs {
+		return fmt.Errorf("arbiter: %d stale counters for a %d×%d switch", len(st.Stale), a.inputs, a.outputs)
+	}
+	for _, v := range st.Stale {
+		if v < 0 {
+			return fmt.Errorf("arbiter: negative stale count %d", v)
+		}
+	}
+	a.prio = st.Prio
+	for i, row := range a.stale {
+		copy(row, st.Stale[i*a.outputs:(i+1)*a.outputs])
+	}
+	return nil
+}

@@ -40,4 +40,13 @@ var (
 	// kind whose admission policy does not read it, or a shared-pool
 	// request for a statically partitioned kind.
 	ErrBadSharing = errors.New("invalid sharing config")
+	// ErrBadCheckpoint reports a checkpoint stream that cannot be
+	// restored: wrong magic, truncation, a failed CRC, or decoded state
+	// that violates a structural invariant. Every decode failure short of
+	// a version skew wraps this sentinel; corrupted inputs never panic.
+	ErrBadCheckpoint = errors.New("invalid checkpoint")
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible codec version — a well-formed stream this build cannot
+	// interpret, as opposed to a corrupted one.
+	ErrCheckpointVersion = errors.New("unsupported checkpoint version")
 )

@@ -1,0 +1,412 @@
+// Package checkpoint is the versioned binary codec under the simulator
+// checkpoint/restore path (DESIGN.md §13). It provides the framing —
+// magic, format version, section tags, and a CRC32 trailer — plus
+// bounds-checked primitive readers and an atomic file writer; the
+// simulator packages own what goes inside the sections
+// (netsim.(*Sim).Checkpoint / netsim.RestoreSim).
+//
+// Framing, in order:
+//
+//	magic    [8]byte  "DAMQCKPT"
+//	version  uint32   little-endian, currently 1
+//	length   uint64   payload byte count
+//	payload  [length]byte   section-tagged body
+//	crc      uint32   CRC-32 (IEEE) of everything before it
+//
+// Inside the payload each section is `tag uint8, length uint64, body`.
+// Decoding is defensive end to end: every failure — short stream, bad
+// magic, CRC mismatch, impossible count, trailing garbage — returns an
+// error wrapping cfgerr.ErrBadCheckpoint (or cfgerr.ErrCheckpointVersion
+// for a well-formed stream from an incompatible codec), never a panic.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"damq/internal/cfgerr"
+)
+
+// Version is the current checkpoint format version. It changes whenever
+// the payload layout changes incompatibly; there is no cross-version
+// migration — a version-skewed stream fails with ErrCheckpointVersion.
+const Version = 1
+
+// magic identifies a checkpoint stream. Any other prefix fails decoding
+// immediately with a "not a checkpoint" error.
+var magic = [8]byte{'D', 'A', 'M', 'Q', 'C', 'K', 'P', 'T'}
+
+// headerLen is the byte count before the payload: magic + version + length.
+const headerLen = len(magic) + 4 + 8
+
+// errf wraps a decode failure in the corrupt-checkpoint sentinel.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("checkpoint: "+format+": %w", append(args, cfgerr.ErrBadCheckpoint)...)
+}
+
+// Encoder accumulates a checkpoint payload in memory. The zero value is
+// not ready; use NewEncoder. Emit writes the framed stream.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty payload encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64 (two's complement, little-endian).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// I32 appends an int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// F64 appends a float64 as its IEEE-754 bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) { e.Bytes([]byte(s)) }
+
+// I64s appends a length-prefixed []int64.
+func (e *Encoder) I64s(vs []int64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.I64(v)
+	}
+}
+
+// I32s appends a length-prefixed []int32.
+func (e *Encoder) I32s(vs []int32) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.I32(v)
+	}
+}
+
+// Ints appends a length-prefixed []int (as int64s).
+func (e *Encoder) Ints(vs []int) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.Int(v)
+	}
+}
+
+// Section appends one tagged section: tag, byte length, then whatever
+// body writes. Lengths are patched in after the body runs, so sections
+// nest without pre-computing sizes.
+func (e *Encoder) Section(tag uint8, body func(*Encoder)) {
+	e.U8(tag)
+	at := len(e.buf)
+	e.U64(0) // length placeholder
+	body(e)
+	binary.LittleEndian.PutUint64(e.buf[at:], uint64(len(e.buf)-at-8))
+}
+
+// Emit frames the accumulated payload — magic, version, length,
+// payload, CRC trailer — and writes it to w.
+func (e *Encoder) Emit(w io.Writer) error {
+	out := make([]byte, 0, headerLen+len(e.buf)+4)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(e.buf)))
+	out = append(out, e.buf...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	_, err := w.Write(out)
+	return err
+}
+
+// Decoder reads a framed checkpoint stream. NewDecoder verifies the
+// envelope (magic, version, length, CRC) up front; the Get methods then
+// walk the payload with a sticky error, so a caller can decode a whole
+// structure and check Err once. All counts are bounded by the remaining
+// payload before any allocation sized from them.
+type Decoder struct {
+	buf []byte // payload (or section body)
+	off int
+	err error
+}
+
+// NewDecoder reads the entire stream from r and verifies its envelope.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, errf("read: %v", err)
+	}
+	return NewDecoderBytes(raw)
+}
+
+// NewDecoderBytes verifies the envelope of a fully buffered stream.
+func NewDecoderBytes(raw []byte) (*Decoder, error) {
+	if len(raw) < len(magic) || string(raw[:len(magic)]) != string(magic[:]) {
+		return nil, errf("not a checkpoint stream (bad magic)")
+	}
+	if len(raw) < headerLen {
+		return nil, errf("truncated header (%d bytes)", len(raw))
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(magic):]); v != Version {
+		return nil, fmt.Errorf("checkpoint: stream version %d, this build reads version %d: %w",
+			v, Version, cfgerr.ErrCheckpointVersion)
+	}
+	n := binary.LittleEndian.Uint64(raw[len(magic)+4:])
+	if n != uint64(len(raw)-headerLen-4) {
+		return nil, errf("payload length %d does not match stream size %d", n, len(raw))
+	}
+	body := raw[:len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, errf("CRC mismatch (stream %08x, computed %08x)", want, got)
+	}
+	return &Decoder{buf: raw[headerLen : len(raw)-4]}, nil
+}
+
+// fail records the first error and poisons all further reads.
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = errf(format, args...)
+	}
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the unread payload byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// take consumes n bytes, or poisons the decoder if they are not there.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || n > d.Remaining() {
+		d.fail("truncated at offset %d (need %d bytes, have %d)", d.off, n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int stored as an int64, rejecting values outside the
+// platform int range.
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.fail("integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// I32 reads an int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a one-byte bool, rejecting values other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	switch v := d.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bool byte %d at offset %d", v, d.off-1)
+		return false
+	}
+}
+
+// Count reads a collection length and verifies the collection could fit
+// in the remaining payload at minSize bytes per element, so corrupted
+// counts cannot drive huge allocations or quadratic loops.
+func (d *Decoder) Count(minSize int) int {
+	if minSize < 1 {
+		minSize = 1
+	}
+	v := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(d.Remaining()/minSize) {
+		d.fail("count %d exceeds remaining payload (%d bytes)", v, d.Remaining())
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads a length-prefixed byte string (aliasing the stream buffer).
+func (d *Decoder) Bytes() []byte {
+	n := d.Count(1)
+	return d.take(n)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// I64s reads a length-prefixed []int64.
+func (d *Decoder) I64s() []int64 {
+	n := d.Count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	return out
+}
+
+// I32s reads a length-prefixed []int32.
+func (d *Decoder) I32s() []int32 {
+	n := d.Count(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.I32()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (d *Decoder) Ints() []int {
+	n := d.Count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// Section reads the next section header and returns its tag and a
+// sub-decoder over exactly its body. ok is false at a clean end of
+// payload or after an error.
+func (d *Decoder) Section() (tag uint8, body *Decoder, ok bool) {
+	if d.err != nil || d.Remaining() == 0 {
+		return 0, nil, false
+	}
+	tag = d.U8()
+	n := d.Count(1)
+	b := d.take(n)
+	if d.err != nil {
+		return 0, nil, false
+	}
+	return tag, &Decoder{buf: b}, true
+}
+
+// Done verifies the decoder consumed its input exactly: no sticky error
+// and no trailing bytes.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if r := d.Remaining(); r != 0 {
+		return errf("%d trailing bytes after decode", r)
+	}
+	return nil
+}
+
+// WriteFile atomically replaces path with whatever write produces: the
+// bytes go to a temporary file in the same directory, are fsynced, and
+// only then renamed over path, with a directory fsync sealing the rename.
+// A crash or SIGKILL at any point leaves either the old complete file or
+// the new complete file — never a torn mix — which is what lets a
+// checkpoint file be overwritten in place every N cycles.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	// CreateTemp opens 0600; widen to the usual artifact mode before the
+	// rename so the published file matches a plain os.WriteFile's.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("checkpoint: chmod %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		// Seal the rename; ignore sync errors on filesystems that do not
+		// support directory fsync — the rename itself is still atomic.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

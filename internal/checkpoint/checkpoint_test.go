@@ -1,0 +1,240 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"damq/internal/cfgerr"
+)
+
+// frame encodes a payload built by build into a complete framed stream.
+func frame(t *testing.T, build func(e *Encoder)) []byte {
+	t.Helper()
+	e := NewEncoder()
+	build(e)
+	var buf bytes.Buffer
+	if err := e.Emit(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	raw := frame(t, func(e *Encoder) {
+		e.U8(7)
+		e.U32(1 << 30)
+		e.U64(1 << 60)
+		e.I64(-5)
+		e.Int(-42)
+		e.I32(-9)
+		e.F64(math.Pi)
+		e.Bool(true)
+		e.Bool(false)
+		e.Bytes([]byte("abc"))
+		e.String("déjà")
+		e.I64s([]int64{1, -2, 3})
+		e.I32s([]int32{-4, 5})
+		e.Ints([]int{6, -7})
+	})
+	d, err := NewDecoderBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if v := d.U32(); v != 1<<30 {
+		t.Errorf("U32 = %d", v)
+	}
+	if v := d.U64(); v != 1<<60 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -5 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := d.Int(); v != -42 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := d.I32(); v != -9 {
+		t.Errorf("I32 = %d", v)
+	}
+	if v := d.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if v := d.Bytes(); !bytes.Equal(v, []byte("abc")) {
+		t.Errorf("Bytes = %q", v)
+	}
+	if v := d.String(); v != "déjà" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.I64s(); len(v) != 3 || v[0] != 1 || v[1] != -2 || v[2] != 3 {
+		t.Errorf("I64s = %v", v)
+	}
+	if v := d.I32s(); len(v) != 2 || v[0] != -4 || v[1] != 5 {
+		t.Errorf("I32s = %v", v)
+	}
+	if v := d.Ints(); len(v) != 2 || v[0] != 6 || v[1] != -7 {
+		t.Errorf("Ints = %v", v)
+	}
+	if err := d.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	raw := frame(t, func(e *Encoder) {
+		e.Section(1, func(e *Encoder) { e.I64(11) })
+		e.Section(2, func(e *Encoder) { e.String("body") })
+	})
+	d, err := NewDecoderBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, body, ok := d.Section()
+	if !ok || tag != 1 {
+		t.Fatalf("first section tag %d ok=%v", tag, ok)
+	}
+	if v := body.I64(); v != 11 || body.Done() != nil {
+		t.Errorf("section 1 body = %d (%v)", v, body.Done())
+	}
+	tag, body, ok = d.Section()
+	if !ok || tag != 2 {
+		t.Fatalf("second section tag %d ok=%v", tag, ok)
+	}
+	if v := body.String(); v != "body" || body.Done() != nil {
+		t.Errorf("section 2 body = %q", v)
+	}
+	if _, _, ok := d.Section(); ok {
+		t.Error("phantom third section")
+	}
+	if err := d.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+// TestDecoderDefensiveness drives the sticky-error paths: every
+// corruption must yield the typed sentinel, never a panic.
+func TestDecoderDefensiveness(t *testing.T) {
+	valid := frame(t, func(e *Encoder) { e.I64(1) })
+
+	check := func(name string, raw []byte, want error) {
+		t.Helper()
+		_, err := NewDecoderBytes(raw)
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+	check("empty", nil, cfgerr.ErrBadCheckpoint)
+	check("short header", valid[:10], cfgerr.ErrBadCheckpoint)
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	check("bad magic", badMagic, cfgerr.ErrBadCheckpoint)
+
+	skew := append([]byte(nil), valid...)
+	skew[8] = 99
+	check("version skew", skew, cfgerr.ErrCheckpointVersion)
+
+	short := append([]byte(nil), valid...)
+	check("truncated payload", short[:len(short)-3], cfgerr.ErrBadCheckpoint)
+
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen] ^= 0xFF
+	check("CRC mismatch", flipped, cfgerr.ErrBadCheckpoint)
+
+	// A count far beyond the remaining payload fails instead of
+	// allocating.
+	huge := frame(t, func(e *Encoder) { e.Int(1 << 40) })
+	d, err := NewDecoderBytes(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Errorf("Count accepted an impossible length %d (err %v)", n, d.Err())
+	}
+
+	// Bool bytes other than 0/1 are corruption.
+	boolRaw := frame(t, func(e *Encoder) { e.U8(2) })
+	d, err = NewDecoderBytes(boolRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bool(); d.Err() == nil {
+		t.Error("Bool accepted byte 2")
+	}
+
+	// Trailing bytes after a complete decode are corruption.
+	d, err = NewDecoderBytes(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Done(); !errors.Is(err, cfgerr.ErrBadCheckpoint) {
+		t.Errorf("Done with unread payload: %v", err)
+	}
+
+	// Reading past the end sticks the error and returns zeros.
+	d, err = NewDecoderBytes(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.I64()
+	if v := d.I64(); v != 0 || d.Err() == nil {
+		t.Errorf("overread returned %d with err %v", v, d.Err())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("after first write: %q, %v", got, err)
+	}
+
+	// A failing writer must leave the previous file untouched and no
+	// temporary behind.
+	sentinel := errors.New("boom")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("torn"))
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("WriteFile swallowed the writer error: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("failed write clobbered the file: %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temporary file left behind: %v", ents)
+	}
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("after replace: %q", got)
+	}
+}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -111,11 +112,24 @@ func Table2Specs() []struct {
 // (workers <= 0 means GOMAXPROCS). The solver is deterministic, so the
 // table is identical at any worker count.
 func Table2(loads []float64, workers int) (*Table2Result, error) {
+	res, _, err := Table2Ctx(context.Background(), loads, workers)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table2Ctx is Table2 with cooperative cancellation: on ctx cancellation
+// it returns the rows that finished — in table order, with the
+// unfinished ones dropped — together with the planned row count and
+// ctx.Err(), so a CLI can render the completed prefix and report
+// "interrupted at N/M rows". A solver error still discards everything.
+func Table2Ctx(ctx context.Context, loads []float64, workers int) (*Table2Result, int, error) {
 	if loads == nil {
 		loads = Table2Loads
 	}
 	specs := Table2Specs()
-	rows, err := parallel.Map(len(specs), workers, func(i int) (Table2Row, error) {
+	rows, _, err := parallel.MapCtx(ctx, len(specs), workers, func(i int) (Table2Row, error) {
 		spec := specs[i]
 		row := Table2Row{Kind: spec.Kind, Slots: spec.Slots}
 		for _, load := range loads {
@@ -128,10 +142,18 @@ func Table2(loads []float64, workers int) (*Table2Result, error) {
 		}
 		return row, nil
 	})
-	if err != nil {
-		return nil, err
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, len(specs), err
 	}
-	return &Table2Result{Loads: loads, Rows: rows}, nil
+	// MapCtx leaves zero values at indices whose solves did not finish;
+	// a completed row always has per-load entries.
+	done := rows[:0]
+	for _, row := range rows {
+		if row.PDiscard != nil {
+			done = append(done, row)
+		}
+	}
+	return &Table2Result{Loads: loads, Rows: done}, len(specs), err
 }
 
 // Render formats the table in the paper's layout.

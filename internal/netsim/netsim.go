@@ -372,6 +372,16 @@ type Sim struct {
 	// fault-free. Like metrics, every hot-path use sits behind a nil
 	// check, so fault-free runs are bit-identical and allocation-free.
 	flt *netFaults
+
+	// recordDeliv, when set (RecordDeliveries), makes every shard log the
+	// identity tuple of each measured delivery; Deliveries merges the
+	// logs in shard order. Off by default — the log grows with the run.
+	recordDeliv bool
+
+	// pendingObs carries checkpointed instrument values on a restored
+	// Sim until SetObserver re-registers the instruments and applies
+	// them; nil otherwise. See netsim/checkpoint.go.
+	pendingObs *obsState
 }
 
 // shard owns a contiguous range [lo, hi) of every stage's switches, the
@@ -401,6 +411,9 @@ type shard struct {
 	// partial accumulates this shard's measurement slice; Collect merges
 	// the partials in shard order. Its Config field stays zero.
 	partial Result
+	// deliv logs this shard's measured deliveries when the sim's
+	// recordDeliv flag is set; Deliveries merges the logs in shard order.
+	deliv []Delivery
 	// inFlight/srcBacklog/faulted are this shard's slices of the global
 	// conservation counters. inFlight can go locally negative (a packet
 	// injected here may be delivered by another shard); only the sum is
@@ -1056,6 +1069,12 @@ func (sh *shard) deliver(p *packet.Packet, measuring bool) {
 	s := sh.sim
 	res := &sh.partial
 	res.Delivered++
+	if s.recordDeliv {
+		sh.deliv = append(sh.deliv, Delivery{
+			ID: p.ID, Source: p.Source, Dest: p.Dest,
+			Born: p.Born, Injected: p.Injected, DeliveredAt: s.cycle,
+		})
+	}
 	if s.metrics != nil {
 		// The injection-based latency is observed for every measured
 		// delivery (it needs no RNG), so its histogram total always equals
@@ -1134,13 +1153,19 @@ func (s *Sim) Collect() *Result {
 	return res
 }
 
-// Run executes warmup then measurement and returns the collected results.
+// Run executes warmup then measurement and returns the collected
+// results. The loops are driven by the cycle counter and the measured-
+// step count rather than loop-local indices, so Run continues a
+// checkpoint-restored Sim from exactly where it stopped — including a
+// completed one, where it is a no-op returning the final Result.
 func (s *Sim) Run() *Result {
-	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+	for s.cycle < s.cfg.WarmupCycles {
 		s.Step(false)
 	}
-	s.warmupBoundary = s.cycle
-	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+	if s.measured == 0 {
+		s.warmupBoundary = s.cycle
+	}
+	for s.measured < s.cfg.MeasureCycles {
 		s.Step(true)
 	}
 	return s.Collect()
@@ -1159,18 +1184,50 @@ const ctxCheckStride = 256
 // report "interrupted at N of M". An uncancelled RunCtx returns exactly
 // what Run would.
 func (s *Sim) RunCtx(ctx context.Context) (*Result, error) {
-	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+	return s.RunCtxCheckpoint(ctx, 0, nil)
+}
+
+// RunCtxCheckpoint is RunCtx with periodic checkpointing: when every > 0
+// it calls save after each multiple of every cycles (and once more on
+// cancellation, so the final checkpoint captures the drained cycle the
+// partial Result describes). A non-nil save with every <= 0 is called
+// only on cancellation — the CLI's "checkpoint on interrupt, not
+// periodically" mode. Like Run, the loops continue a restored Sim from
+// its checkpointed position. A save error aborts the run.
+func (s *Sim) RunCtxCheckpoint(ctx context.Context, every int64, save func() error) (*Result, error) {
+	final := func(err error) (*Result, error) {
+		res := s.Collect()
+		if err != nil && save != nil {
+			if serr := save(); serr != nil {
+				return res, serr
+			}
+		}
+		return res, err
+	}
+	for i := int64(0); s.cycle < s.cfg.WarmupCycles; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			return s.Collect(), ctx.Err()
+			return final(ctx.Err())
 		}
 		s.Step(false)
+		if every > 0 && s.cycle%every == 0 {
+			if err := save(); err != nil {
+				return s.Collect(), err
+			}
+		}
 	}
-	s.warmupBoundary = s.cycle
-	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+	if s.measured == 0 {
+		s.warmupBoundary = s.cycle
+	}
+	for i := int64(0); s.measured < s.cfg.MeasureCycles; i++ {
 		if i%ctxCheckStride == 0 && ctx.Err() != nil {
-			return s.Collect(), ctx.Err()
+			return final(ctx.Err())
 		}
 		s.Step(true)
+		if every > 0 && s.cycle%every == 0 {
+			if err := save(); err != nil {
+				return s.Collect(), err
+			}
+		}
 	}
 	return s.Collect(), nil
 }

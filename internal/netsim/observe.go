@@ -157,6 +157,15 @@ func (s *Sim) SetObserver(o *obs.Observer) {
 	if s.flt != nil {
 		s.flt.register(o)
 	}
+	// A restored Sim carries the checkpointed instrument values until the
+	// first observer attaches; applying them after registration makes the
+	// resumed run's final snapshot byte-identical to the uninterrupted
+	// run's. The values were validated against this config's instrument
+	// set at restore time, so application cannot fail.
+	if s.pendingObs != nil {
+		s.pendingObs.apply(s)
+		s.pendingObs = nil
+	}
 }
 
 // sampleMetrics runs at the end of every measured cycle with an observer

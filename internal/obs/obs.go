@@ -21,7 +21,10 @@
 // deterministic run is byte-stable and can be golden-tested.
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Counter is a monotonically increasing integer instrument.
 type Counter struct{ v int64 }
@@ -163,4 +166,63 @@ func (r *Registry) Histogram(name string, buckets int, width int64) *Histogram {
 	h := &Histogram{width: width, buckets: make([]int64, buckets)}
 	r.hists[name] = h
 	return h
+}
+
+// Set overwrites the count, for checkpoint restore.
+func (c *Counter) Set(v int64) { c.v = v }
+
+// Buckets returns a copy of the bucket counts (excluding overflow).
+func (h *Histogram) Buckets() []int64 { return append([]int64(nil), h.buckets...) }
+
+// Overflow returns the overflow bucket count.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Restore overwrites the histogram's contents with previously captured
+// values, for checkpoint restore. The bucket count must match the
+// registered shape, and the counts must be non-negative and sum (with
+// overflow) to total — a stream that disagrees is corrupt.
+func (h *Histogram) Restore(buckets []int64, overflow, total, sum int64) error {
+	if len(buckets) != len(h.buckets) {
+		return fmt.Errorf("obs: %d restored buckets for a %d-bucket histogram", len(buckets), len(h.buckets))
+	}
+	var n int64
+	for _, c := range buckets {
+		if c < 0 {
+			return fmt.Errorf("obs: negative restored bucket count %d", c)
+		}
+		n += c
+	}
+	if overflow < 0 || n+overflow != total {
+		return fmt.Errorf("obs: restored histogram total %d does not match bucket sum %d", total, n+overflow)
+	}
+	copy(h.buckets, buckets)
+	h.overflow, h.total, h.sum = overflow, total, sum
+	return nil
+}
+
+// CounterNames returns the registered counter names, sorted — the
+// deterministic iteration order the checkpoint codec serializes in.
+func (r *Registry) CounterNames() []string { return sortedKeys(r.counters) }
+
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string { return sortedKeys(r.gauges) }
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string { return sortedKeys(r.hists) }
+
+// LookupHistogram returns the histogram registered under name without
+// creating one: the restore path must never invent instruments (or
+// shapes) the simulation did not register.
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	h, ok := r.hists[name]
+	return h, ok
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

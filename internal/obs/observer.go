@@ -163,3 +163,11 @@ func DecodeSnapshot(raw []byte) (*Snapshot, error) {
 	}
 	return &s, nil
 }
+
+// RestoreSeries replaces the recorded interval series with a previously
+// captured one, for checkpoint restore: the resumed run appends to the
+// restored prefix so the final snapshot's time series is identical to an
+// uninterrupted run's.
+func (o *Observer) RestoreSeries(recs []IntervalRecord) {
+	o.series = append(o.series[:0], recs...)
+}

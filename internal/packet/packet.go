@@ -174,3 +174,11 @@ func (a *Alloc) Issued() uint64 { return a.next }
 
 // FreeListLen reports how many retired packets are waiting for reuse.
 func (a *Alloc) FreeListLen() int { return len(a.free) }
+
+// SetIssued overwrites the ID-stream position, for checkpoint restore:
+// with the position and SetIDStream's (offset, stride) restored, the
+// allocator reissues the identical ID sequence the checkpointed run
+// would have continued with. The free list is deliberately not part of
+// checkpoint state — New rewrites every field of a reused packet, so
+// free-list contents cannot affect simulation results.
+func (a *Alloc) SetIssued(n uint64) { a.next = n }

@@ -14,7 +14,10 @@
 // published by Blackman and Vigna (public domain reference code).
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is used for seeding so that correlated user seeds (0, 1, 2, ...)
@@ -194,4 +197,19 @@ func (s *Source) IntnRange(lo, hi int) int {
 		panic("rng: IntnRange with hi < lo")
 	}
 	return lo + s.Intn(hi-lo+1)
+}
+
+// State returns the generator's four state words, for checkpointing. A
+// Source restored with SetState continues the identical stream.
+func (s *Source) State() [4]uint64 { return [4]uint64{s.s0, s.s1, s.s2, s.s3} }
+
+// SetState overwrites the generator state with a previously captured
+// State. The all-zero state is xoshiro's single invalid fixed point
+// (the generator would emit zeros forever) and is rejected.
+func (s *Source) SetState(st [4]uint64) error {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		return errors.New("rng: all-zero state is invalid")
+	}
+	s.s0, s.s1, s.s2, s.s3 = st[0], st[1], st[2], st[3]
+	return nil
 }

@@ -333,3 +333,22 @@ func (s *Switch) Offer(in int, p *packet.Packet) (accepted bool) {
 func (s *Switch) CanAcceptAt(in int, p *packet.Packet) bool {
 	return s.bufs[in].CanAccept(p)
 }
+
+// Arbiter exposes the switch's crossbar arbiter for the checkpoint
+// codec: its priority pointer and stale counters are the switch's only
+// cross-cycle control state outside the buffers.
+func (s *Switch) Arbiter() *arbiter.Arbiter { return s.arb }
+
+// Buffers returns the switch's per-input buffer views, for the
+// checkpoint codec (under a shared pool all views alias one group).
+func (s *Switch) Buffers() []buffer.Buffer { return s.bufs }
+
+// ResyncLen recomputes the cached switch-wide packet count after the
+// buffers have been checkpoint-restored.
+func (s *Switch) ResyncLen() {
+	n := 0
+	for _, b := range s.bufs {
+		n += b.Len()
+	}
+	s.count = n
+}

@@ -77,3 +77,34 @@ func (b *Bursty) Load() float64 { return b.load }
 func (b *Bursty) String() string {
 	return fmt.Sprintf("bursty(load=%.3g, mean burst %.3g)", b.load, b.meanBurst)
 }
+
+// Src exposes the pattern's random stream for the checkpoint codec.
+func (b *Bursty) Src() *rng.Source { return b.src }
+
+// BurstState returns copies of the per-input burst registers — packets
+// remaining in each source's current burst and its destination — for
+// the checkpoint codec.
+func (b *Bursty) BurstState() (remaining, dest []int) {
+	return append([]int(nil), b.remaining...), append([]int(nil), b.dest...)
+}
+
+// SetBurstState overwrites the per-input burst registers with
+// previously captured ones, validating lengths and ranges against the
+// pattern's geometry.
+func (b *Bursty) SetBurstState(remaining, dest []int) error {
+	if len(remaining) != len(b.remaining) || len(dest) != len(b.dest) {
+		return fmt.Errorf("traffic: burst state for %d inputs loaded into %d-input pattern",
+			len(remaining), len(b.remaining))
+	}
+	for i := range remaining {
+		if remaining[i] < 0 {
+			return fmt.Errorf("traffic: negative burst remainder %d", remaining[i])
+		}
+		if dest[i] < 0 || dest[i] >= b.n {
+			return fmt.Errorf("traffic: burst destination %d out of range [0, %d)", dest[i], b.n)
+		}
+	}
+	copy(b.remaining, remaining)
+	copy(b.dest, dest)
+	return nil
+}

@@ -186,3 +186,14 @@ func (u UniformLengths) Draw() int { return u.Src.IntnRange(u.Lo, u.Hi) }
 
 // Mean implements Lengths.
 func (u UniformLengths) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Src exposes the pattern's random stream for the checkpoint codec: a
+// pattern's only cross-cycle state is its source (Bursty adds per-input
+// burst registers, which it exposes separately).
+func (u *Uniform) Src() *rng.Source { return u.src }
+
+// Src exposes the pattern's random stream for the checkpoint codec.
+func (h *HotSpot) Src() *rng.Source { return h.src }
+
+// Src exposes the pattern's random stream for the checkpoint codec.
+func (p *Permutation) Src() *rng.Source { return p.src }
